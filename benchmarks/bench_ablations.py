@@ -1,0 +1,106 @@
+"""Ablations of COGENT's design choices (DESIGN.md Section 6).
+
+Quantifies, on representative TCCG contractions (V100, DP):
+
+* **cost model off** — median config from the pruned space instead of
+  the model-ranked best;
+* **performance constraints off** — cost-model pick over the merely
+  hardware-feasible space;
+* **register tiling off** — REG sizes restricted to 1;
+* **top-k microbenchmarking** — pure model pick (k=1) vs k=64;
+* **dimension splitting off** — paper's base search space.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Cogent, ConstraintPolicy, KernelPlan
+from repro.tccg import get
+
+REPRESENTATIVES = ("ttm_mode2", "ccsd_eq1", "sd_t_d2_1")
+
+
+def gflops_of(gen, kernel):
+    sim = kernel.candidates[0].simulated
+    if sim is None:
+        sim = gen.predict(kernel.plan)
+    return sim.gflops
+
+
+def run_ablations(name):
+    contraction = get(name).contraction()
+    rows = {}
+
+    base_gen = Cogent(arch="V100")
+    base = base_gen.generate(contraction)
+    rows["full system"] = gflops_of(base_gen, base)
+
+    # Cost model off: median config of the pruned space.
+    ranked = base_gen.rank_configs(contraction)
+    median_cfg = ranked[len(ranked) // 2][0]
+    rows["no cost model (median pick)"] = base_gen.predict(
+        KernelPlan(contraction, median_cfg, 8)
+    ).gflops
+
+    # Pure model selection (no simulator microbenchmark of top-k).
+    k1 = Cogent(arch="V100", top_k=1, allow_split=False)
+    rows["model-only pick (k=1)"] = k1.predict(
+        k1.generate(contraction).plan
+    ).gflops
+
+    # No register tiling.
+    noreg = Cogent(arch="V100", reg_sizes=(1,), allow_split=False)
+    rows["no register tiling"] = gflops_of(
+        noreg, noreg.generate(contraction)
+    )
+
+    # Relaxed performance constraints (hardware rules only).
+    relaxed = Cogent(
+        arch="V100",
+        allow_split=False,
+        policy=ConstraintPolicy(
+            min_blocks_per_sm=0.0,
+            min_occupancy=0.0,
+            min_fvi_tile=1,
+            min_threads=1,
+        ),
+    )
+    rows["no perf constraints"] = gflops_of(
+        relaxed, relaxed.generate(contraction)
+    )
+
+    # No dimension splitting.
+    nosplit = Cogent(arch="V100", allow_split=False)
+    rows["no splitting"] = gflops_of(
+        nosplit, nosplit.generate(contraction)
+    )
+
+    # With index merging (strictly an addition to the full system).
+    merging = Cogent(arch="V100", allow_merge=True)
+    rows["with index merging"] = gflops_of(
+        merging, merging.generate(contraction)
+    )
+    return rows
+
+
+@pytest.mark.parametrize("name", REPRESENTATIVES)
+def test_ablations(benchmark, name):
+    rows = benchmark.pedantic(
+        run_ablations, args=(name,), rounds=1, iterations=1
+    )
+    print(f"\nAblations on {name} (V100, DP, simulated GFLOPS):")
+    full = rows["full system"]
+    for label, gflops in rows.items():
+        print(f"  {label:<30} {gflops:>9.1f}  ({gflops / full:5.2f}x)")
+
+    # The full system must dominate each ablation (ties allowed: an
+    # ablated knob may simply not matter for a given contraction).
+    # "with index merging" is an *addition*, allowed to win.
+    for label, gflops in rows.items():
+        if label == "with index merging":
+            continue
+        assert gflops <= full * 1.001, f"{label} beat the full system"
+    # The cost model must matter: the median config is clearly worse.
+    assert rows["no cost model (median pick)"] < full
+    # Register tiling is the load-bearing reuse mechanism.
+    assert rows["no register tiling"] < full

@@ -1,0 +1,35 @@
+"""Fig. 4 reproduction: TCCG suite on the (simulated) Pascal P100.
+
+Paper series: GFLOPS of COGENT, the NWChem code generator, and TAL_SH
+for all 48 TCCG contractions, double precision.  Paper headlines for
+this figure: COGENT up to 4.0x / geomean 1.69x over NWChem and up to
+13.7x / geomean 4.0x over TAL_SH.
+"""
+
+from repro.evaluation import format_table, speedup_summary
+
+FRAMEWORKS = ("cogent", "nwchem", "talsh")
+
+
+def run_fig4(runner, selection):
+    return runner.compare(selection, FRAMEWORKS)
+
+
+def test_fig4_tccg_p100(benchmark, p100_runner, selection):
+    rows = benchmark.pedantic(
+        run_fig4, args=(p100_runner, selection), rounds=1, iterations=1
+    )
+    print()
+    print(format_table(
+        rows, FRAMEWORKS,
+        title="Fig. 4 - TCCG benchmark on P100 (Pascal), double precision",
+    ))
+    gm_nw, max_nw = speedup_summary(rows, over="nwchem")
+    gm_ts, max_ts = speedup_summary(rows, over="talsh")
+    print(f"paper: vs NWChem geomean 1.69x max 4.0x | "
+          f"measured: geomean {gm_nw:.2f}x max {max_nw:.2f}x")
+    print(f"paper: vs TAL_SH geomean 4.0x max 13.7x | "
+          f"measured: geomean {gm_ts:.2f}x max {max_ts:.2f}x")
+    # Shape assertions: COGENT wins on average against both baselines.
+    assert gm_nw > 1.0
+    assert gm_ts > 1.0

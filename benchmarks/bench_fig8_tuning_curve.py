@@ -1,0 +1,66 @@
+"""Fig. 8 reproduction: GFLOPS vs number of autotuned code versions for
+Tensor Comprehensions on SD2_1 (abcdef-gdab-efgc), V100, single
+precision, against COGENT's one-shot model-driven result.
+
+Paper series: TC-without-tuning stays below 1 GFLOPS; TC-with-tuning
+climbs to 900-1500 GFLOPS over ~2000 evaluated versions costing
+~8514 s; COGENT reaches its (higher) performance in seconds of code
+generation.
+"""
+
+import os
+
+from repro import Cogent
+from repro.baselines.tc import TcAutotuner
+from repro.evaluation import curve_table
+from repro.evaluation.plots import line_plot
+from repro.gpu.arch import VOLTA_V100
+from repro.tccg import SD2_1
+
+TC_POPULATION = int(os.environ.get("TC_POPULATION", "40"))
+TC_GENERATIONS = int(os.environ.get("TC_GENERATIONS", "10"))
+
+
+def run_tuning():
+    contraction = SD2_1.contraction()
+    tuner = TcAutotuner(
+        VOLTA_V100,
+        dtype_bytes=4,
+        population=TC_POPULATION,
+        generations=TC_GENERATIONS,
+        seed=0,
+    )
+    result = tuner.tune(contraction)
+    cogent = Cogent(arch="V100", dtype_bytes=4).generate(contraction)
+    return result, cogent
+
+
+def test_fig8_tuning_curve(benchmark):
+    result, cogent = benchmark.pedantic(run_tuning, rounds=1, iterations=1)
+    print()
+    print("Fig. 8 - TC tuning curve on V100 for SD2_1 "
+          f"({SD2_1.expr}), single precision")
+    print(curve_table(result.curve,
+                      stride=max(1, len(result.curve) // 15)))
+    print(f"TC untuned           : {result.untuned_gflops:8.2f} GFLOPS "
+          "(paper < 1)")
+    print(f"TC tuned             : {result.best_gflops:8.1f} GFLOPS "
+          "(paper 900-1500)")
+    print(f"TC modeled tune time : {result.modeled_tuning_time_s:8.0f} s "
+          "(paper ~8514 s at pop 100 x gen 20)")
+    cogent_gflops = cogent.candidates[0].simulated.gflops
+    print(f"COGENT one-shot      : {cogent_gflops:8.1f} GFLOPS in "
+          f"{cogent.generation_time_s:.2f} s of code generation")
+    print()
+    print(line_plot(
+        {"TC best-so-far": list(result.curve)},
+        hlines={"COGENT (model-driven)": cogent_gflops},
+    ))
+
+    # Shape assertions.
+    assert result.untuned_gflops < 1.0 or result.untuned_gflops < 10.0
+    assert result.best_gflops > 100 * max(result.untuned_gflops, 1e-9)
+    assert cogent_gflops > result.best_gflops
+    assert cogent.generation_time_s < result.modeled_tuning_time_s / 10
+    # The curve is a best-so-far trace: monotone non-decreasing.
+    assert all(b >= a for a, b in zip(result.curve, result.curve[1:]))

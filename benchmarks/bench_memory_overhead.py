@@ -1,0 +1,56 @@
+"""TTGT workspace overhead (paper Section II, third TTGT drawback:
+"it requires extra temporary space to hold the transposed matrices").
+
+COGENT's direct kernels allocate no temporaries; TTGT materialises a
+transposed copy of each operand whose layout does not already match the
+matricisation, plus the un-transposed GEMM output.  This benchmark
+tabulates that workspace across the TCCG suite as a fraction of the
+problem's own tensors.
+"""
+
+from repro.evaluation import geomean
+from repro.ttgt.pipeline import TtgtPipeline
+from repro.gpu.arch import VOLTA_V100
+
+DTYPE_BYTES = 8
+
+
+def run_workspace(selection):
+    pipeline = TtgtPipeline(VOLTA_V100, DTYPE_BYTES)
+    rows = []
+    for bench in selection:
+        contraction = bench.contraction()
+        plan = pipeline.plan(contraction)
+        problem_elems = (
+            contraction.num_elements(contraction.a)
+            + contraction.num_elements(contraction.b)
+            + contraction.num_elements(contraction.c)
+        )
+        rows.append(
+            (bench, plan.workspace_elements, problem_elems)
+        )
+    return rows
+
+
+def test_ttgt_workspace_overhead(benchmark, selection):
+    rows = benchmark.pedantic(
+        run_workspace, args=(selection,), rounds=1, iterations=1
+    )
+    print()
+    print("TTGT temporary workspace vs problem size (double precision)")
+    print(f"{'#':>3} {'benchmark':<14} {'workspace MB':>13} "
+          f"{'problem MB':>11} {'overhead':>9}")
+    overheads = []
+    for bench, workspace, problem in rows:
+        ratio = workspace / problem
+        overheads.append(max(ratio, 1e-9))
+        print(f"{bench.id:>3} {bench.name:<14} "
+              f"{workspace * DTYPE_BYTES / 1e6:>13.1f} "
+              f"{problem * DTYPE_BYTES / 1e6:>11.1f} "
+              f"{ratio * 100:>8.1f}%")
+    print(f"geomean workspace overhead: "
+          f"{geomean(overheads) * 100:.1f}% of the problem footprint "
+          "(COGENT: 0%)")
+    # The paper's claim: the overhead is substantial for most entries.
+    substantial = sum(1 for _, w, p in rows if w > 0.25 * p)
+    assert substantial >= len(rows) // 2

@@ -1,0 +1,43 @@
+"""Section IV-A claim: "around 97% of the configurations were pruned".
+
+Reproduces the enumeration-pruning statistics across the TCCG suite:
+raw enumerated combinations, hardware-pruned, performance-pruned, and
+the surviving fraction, per benchmark group and overall.
+"""
+
+from repro.core.enumeration import Enumerator, paper_search_space
+from repro.gpu.arch import VOLTA_V100
+
+
+def run_pruning_stats(selection):
+    rows = []
+    for bench in selection:
+        contraction = bench.contraction()
+        result = Enumerator(contraction, VOLTA_V100).enumerate()
+        rows.append((bench, result.stats, paper_search_space(contraction)))
+    return rows
+
+
+def test_pruning_statistics(benchmark, selection):
+    rows = benchmark.pedantic(
+        run_pruning_stats, args=(selection,), rounds=1, iterations=1
+    )
+    print()
+    print("Section IV-A - configuration pruning statistics (V100, DP)")
+    print(f"{'#':>3} {'benchmark':<14} {'space':>12} {'walked':>8} "
+          f"{'hw-cut':>7} {'perf-cut':>9} {'kept':>7} {'pruned%':>8}")
+    total_space = total_kept = 0
+    for bench, stats, space in rows:
+        pruned = 1 - stats.accepted / space
+        print(f"{bench.id:>3} {bench.name:<14} {space:>12} "
+              f"{stats.raw_combinations:>8} {stats.hardware_pruned:>7} "
+              f"{stats.performance_pruned:>9} {stats.accepted:>7} "
+              f"{pruned * 100:>7.2f}%")
+        total_space += space
+        total_kept += stats.accepted
+    overall = 1 - total_kept / total_space
+    print(f"overall pruned fraction of the naive search space: "
+          f"{overall * 100:.2f}% (paper: ~97%)")
+    assert overall > 0.90
+    for _bench, stats, _space in rows:
+        assert stats.accepted > 0

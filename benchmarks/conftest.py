@@ -1,0 +1,47 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Each ``bench_*`` module regenerates one of the paper's tables/figures
+(see DESIGN.md's experiment index) and prints the data series; the
+pytest-benchmark fixture wraps the dominant computation so the harness
+also reports wall-clock costs.
+
+Set ``REPRO_BENCH_QUICK=1`` to restrict the Fig. 4/5 sweeps to a
+four-entry sample per group instead of the full 48-entry suite.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.evaluation import SuiteRunner
+from repro.tccg import all_benchmarks, by_group
+
+
+def quick_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def suite_selection():
+    if not quick_mode():
+        return all_benchmarks()
+    sample = []
+    for group in ("ml", "mo", "ccsd", "ccsd_t"):
+        sample.extend(by_group(group)[:1])
+    return tuple(sample)
+
+
+@pytest.fixture(scope="session")
+def p100_runner():
+    return SuiteRunner(arch="P100")
+
+
+@pytest.fixture(scope="session")
+def v100_runner():
+    return SuiteRunner(arch="V100")
+
+
+@pytest.fixture(scope="session")
+def selection():
+    return suite_selection()

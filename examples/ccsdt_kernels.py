@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""CCSD(T) triples kernels: the paper's motivating quantum-chemistry
+workload (TCCG entries 31-48, the NWChem sd_t_d1_* / sd_t_d2_* 6D
+contractions).
+
+Generates a COGENT kernel for each of the 18 contractions on the
+simulated V100, and compares against the NWChem fixed-strategy code
+generator and the TAL_SH TTGT pipeline — the comparison behind the
+right-hand side of the paper's Fig. 5.
+
+Run:  python examples/ccsdt_kernels.py [P100|V100]
+"""
+
+import sys
+
+from repro.evaluation import SuiteRunner, format_table, speedup_summary
+from repro.tccg import by_group
+
+
+def main() -> None:
+    arch = sys.argv[1] if len(sys.argv) > 1 else "V100"
+    runner = SuiteRunner(arch=arch)
+    benches = by_group("ccsd_t")
+
+    print(f"Generating kernels for {len(benches)} CCSD(T) contractions "
+          f"on the simulated {arch} (double precision)...\n")
+    rows = runner.compare(benches, ("cogent", "nwchem", "talsh"))
+    print(format_table(
+        rows, ("cogent", "nwchem", "talsh"),
+        title=f"CCSD(T) triples kernels on {arch} (simulated GFLOPS)",
+    ))
+
+    gm_ts, _ = speedup_summary(rows, over="talsh")
+    print(
+        "Why TTGT loses here: the 6D output tensor must be transposed\n"
+        "after the GEMM, and its small mode extents make that transpose\n"
+        "run far below peak bandwidth.  Per-contraction breakdown for\n"
+        "the first kernel:"
+    )
+    plan = runner.talsh.plan(benches[0].contraction())
+    print(" ", plan.summary())
+    print(f"  -> transposition is "
+          f"{plan.transpose_time / plan.total_time * 100:.0f}% of "
+          f"TAL_SH's runtime; COGENT avoids it entirely "
+          f"(geomean speedup {gm_ts:.1f}x).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Compile and run generated kernels on the CPU (C emulation backend).
+
+COGENT emits CUDA; without a GPU we cannot execute it, but the same
+kernel plan is also emitted as sequential C with explicit block/thread
+phase loops.  This example generates kernels for several contractions,
+compiles each emitted C program with the system compiler, runs it on
+random tensors, and checks the output bit-for-bit semantics against
+numpy.einsum — an end-to-end test of the generated *source text*.
+
+Run:  python examples/compile_and_validate.py
+"""
+
+import numpy as np
+
+from repro import Cogent, parse
+from repro.core.codegen.cemu import compile_and_run
+from repro.core.splitting import adapt_operands, restore_output
+from repro.gpu.executor import random_operands, reference_contract
+
+CASES = [
+    ("matrix multiply", "ab-ak-kb", {"a": 33, "b": 17, "k": 21}),
+    ("paper Eq. 1", "abcd-aebf-dfce",
+     {"a": 9, "b": 6, "c": 7, "d": 8, "e": 4, "f": 5}),
+    ("TTM (mode-2)", "abc-adc-bd", {"a": 16, "b": 24, "c": 8, "d": 12}),
+    ("CCSD(T) sd_t_d2_1", "abcdef-gdab-efgc", 5),
+]
+
+
+def main() -> None:
+    generator = Cogent(arch="V100")
+    for label, expr, sizes in CASES:
+        contraction = parse(expr, sizes)
+        kernel = generator.generate(contraction)
+        a, b = random_operands(contraction, seed=1)
+        want = reference_contract(contraction, a, b)
+
+        if kernel.split_specs:
+            a_run, b_run = adapt_operands(
+                contraction, kernel.split_specs, a, b
+            )
+        else:
+            a_run, b_run = a, b
+        got = compile_and_run(kernel.plan, a_run, b_run)
+        if kernel.split_specs:
+            got = restore_output(
+                kernel.contraction, kernel.split_specs, got
+            )
+
+        ok = np.allclose(got, want)
+        n_lines = len(kernel.c_emulation_source().splitlines())
+        split = (
+            f", split {kernel.split_specs[0]}" if kernel.split_specs else ""
+        )
+        print(f"{label:<22} {expr:<20} -> "
+              f"{'PASS' if ok else 'FAIL'}  "
+              f"(emitted {n_lines} lines of C, "
+              f"config {kernel.config.describe()}{split})")
+        if not ok:
+            raise SystemExit(f"validation failed for {label}")
+    print("\nAll generated programs compiled, ran, and matched "
+          "numpy.einsum.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Contracting a multi-tensor network through COGENT kernels.
+
+Coupled-cluster residuals and tensor-network methods contract chains of
+tensors; the order of pairwise contractions changes the FLOP count by
+orders of magnitude (the paper's reference [1]).  This example finds
+the optimal pairwise order by dynamic programming, generates a COGENT
+kernel for each step, validates against one big einsum, and shows how
+badly a naive left-to-right order would have done.
+
+Run:  python examples/tensor_network.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import Cogent
+from repro.core.network import (
+    NetworkContractor,
+    optimal_path,
+    parse_network,
+)
+
+
+def left_to_right_flops(spec) -> int:
+    """FLOPs of the naive (((A*B)*C)*D) order."""
+    sizes = spec.sizes
+    current = list(spec.inputs[0])
+    total = 0
+    output = set(spec.output)
+    for pos in range(1, len(spec.inputs)):
+        nxt = spec.inputs[pos]
+        involved = set(current) | set(nxt)
+        total += 2 * math.prod(sizes[i] for i in involved)
+        remaining = set().union(
+            *spec.inputs[pos + 1:]
+        ) | output
+        shared = set(current) & set(nxt)
+        keep = remaining
+        current = [i for i in current if i in keep and i not in shared]
+        current += [i for i in nxt if i in keep and i not in shared]
+    return total
+
+
+def main() -> None:
+    # An MPS-like chain: skewed bond dimensions make ordering matter.
+    expr = "ab,bc,cd,de->ae"
+    sizes = {"a": 16, "b": 512, "c": 8, "d": 256, "e": 16}
+    spec = parse_network(expr, sizes)
+
+    path = optimal_path(spec)
+    naive = left_to_right_flops(spec)
+    print(f"network      : {expr}  sizes={sizes}")
+    print(f"optimal path : {path}")
+    print(f"optimal cost : {path.total_flops / 1e6:.2f} MFLOP")
+    print(f"naive L-to-R : {naive / 1e6:.2f} MFLOP "
+          f"({naive / path.total_flops:.1f}x more work)")
+    print()
+
+    contractor = NetworkContractor(spec, Cogent(arch="V100"))
+    print(contractor.summary())
+    print()
+
+    rng = np.random.default_rng(0)
+    operands = [
+        rng.random(tuple(sizes[i] for i in subscript))
+        for subscript in spec.inputs
+    ]
+    got = contractor.execute(*operands)
+    want = contractor.reference(*operands)
+    print("numerical check vs einsum:",
+          "PASS" if np.allclose(got, want) else "FAIL")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Applications built on the COGENT kernel generator."""
+
+from .ccsd import CcsdDriver, CcsdResult, DIAGRAMS
+from .ccsdt import TriplesDriver, TriplesResult, TriplesTerm, triples_terms
+
+__all__ = [
+    "CcsdDriver",
+    "CcsdResult",
+    "DIAGRAMS",
+    "TriplesDriver",
+    "TriplesResult",
+    "TriplesTerm",
+    "triples_terms",
+]

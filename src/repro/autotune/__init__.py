@@ -1,0 +1,28 @@
+"""Empirical autotuning strategies over the raw configuration space,
+plus the model-driven approach in the same interface (paper Section VI:
+model-driven selection complements search-based optimisation)."""
+
+from .base import Evaluator, Tuner, TuneTrace
+from .space import ConfigSpace, TILE_CHOICES
+from .strategies import (
+    ALL_STRATEGIES,
+    GeneticSearch,
+    HillClimb,
+    ModelDriven,
+    RandomSearch,
+    SimulatedAnnealing,
+)
+
+__all__ = [
+    "ALL_STRATEGIES",
+    "ConfigSpace",
+    "Evaluator",
+    "GeneticSearch",
+    "HillClimb",
+    "ModelDriven",
+    "RandomSearch",
+    "SimulatedAnnealing",
+    "TILE_CHOICES",
+    "Tuner",
+    "TuneTrace",
+]

@@ -1,0 +1,109 @@
+"""The raw configuration search space for empirical autotuners.
+
+The paper contrasts COGENT's model-driven selection with autotuners
+that search an undifferentiated space of mappings and tile sizes
+(Tensor Comprehensions' genetic algorithm; the learning-based
+optimizers discussed in Section VI).  This module defines that space as
+a first-class object: sampling a random configuration, mutating one,
+and crossing two — shared by every search strategy in
+:mod:`repro.autotune` and by the TC baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.ir import Contraction, IndexKind
+from ..core.mapping import Dim, IndexMapping, KernelConfig
+
+#: Tile-size alphabet of the unpruned space.
+TILE_CHOICES: Tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+
+_X_DIMS = (Dim.TB_X, Dim.REG_X, Dim.GRID)
+_Y_DIMS = (Dim.TB_Y, Dim.REG_Y, Dim.GRID)
+
+
+class ConfigSpace:
+    """Sampling and variation operators over legal kernel configs."""
+
+    def __init__(self, contraction: Contraction) -> None:
+        self.contraction = contraction
+        self._x_ext = set(
+            contraction.externals_of(contraction.x_input)
+        )
+
+    # -- sampling --------------------------------------------------------
+
+    def random_tile(self, index: str, rng: np.random.Generator) -> int:
+        extent = self.contraction.extent(index)
+        choices = [t for t in TILE_CHOICES if t <= extent] or [extent]
+        return int(choices[rng.integers(len(choices))])
+
+    def random_dim(self, index: str, rng: np.random.Generator) -> Dim:
+        kind = self.contraction.kind(index)
+        if kind is IndexKind.INTERNAL:
+            return Dim.TB_K
+        dims = _X_DIMS if index in self._x_ext else _Y_DIMS
+        return dims[rng.integers(len(dims))]
+
+    def random_config(self, rng: np.random.Generator) -> KernelConfig:
+        mappings: List[IndexMapping] = []
+        for index in self.contraction.all_indices:
+            dim = self.random_dim(index, rng)
+            tile = 1 if dim is Dim.GRID else self.random_tile(index, rng)
+            mappings.append(IndexMapping(index, dim, tile))
+        return KernelConfig(tuple(mappings))
+
+    # -- variation --------------------------------------------------------------
+
+    def mutate(
+        self,
+        config: KernelConfig,
+        rng: np.random.Generator,
+        rate: float = 0.25,
+    ) -> KernelConfig:
+        """Re-randomise each index's placement with probability ``rate``."""
+        mappings: List[IndexMapping] = []
+        for m in config.mappings:
+            if rng.random() >= rate:
+                mappings.append(m)
+                continue
+            dim = self.random_dim(m.index, rng)
+            tile = 1 if dim is Dim.GRID else self.random_tile(m.index, rng)
+            mappings.append(IndexMapping(m.index, dim, tile))
+        return KernelConfig(tuple(mappings))
+
+    def crossover(
+        self,
+        first: KernelConfig,
+        second: KernelConfig,
+        rng: np.random.Generator,
+    ) -> KernelConfig:
+        """Uniform per-index crossover (both parents map the same
+        index set, possibly in different orders)."""
+        by_index = {m.index: m for m in second.mappings}
+        mappings = tuple(
+            m if rng.random() < 0.5 else by_index[m.index]
+            for m in first.mappings
+        )
+        return KernelConfig(mappings)
+
+    def neighbor(
+        self, config: KernelConfig, rng: np.random.Generator
+    ) -> KernelConfig:
+        """A single-index perturbation (for local search / annealing)."""
+        pos = int(rng.integers(len(config.mappings)))
+        mappings = list(config.mappings)
+        m = mappings[pos]
+        if (
+            self.contraction.kind(m.index) is not IndexKind.INTERNAL
+            and rng.random() < 0.5
+        ):
+            dim = self.random_dim(m.index, rng)
+        else:
+            dim = m.dim
+        tile = 1 if dim is Dim.GRID else self.random_tile(m.index, rng)
+        mappings[pos] = IndexMapping(m.index, dim, tile)
+        return KernelConfig(tuple(mappings))

@@ -1,0 +1,212 @@
+"""Search strategies over the raw configuration space.
+
+Four empirical strategies (random search, hill climbing, simulated
+annealing, a genetic algorithm) plus the model-driven approach wrapped
+in the same interface, so the cost of each route to a fast kernel can
+be compared on a common best-so-far-per-evaluation axis.  The paper's
+position (Section VI) is that model-driven selection *complements*
+search: the model reaches near-optimal configurations with zero or few
+empirical evaluations, while search needs hundreds to thousands.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..core.generator import Cogent
+from ..core.mapping import KernelConfig
+from .base import Evaluator, Tuner, TuneTrace
+from .space import ConfigSpace
+
+
+class RandomSearch(Tuner):
+    """Uniform random sampling of the raw space."""
+
+    name = "random"
+
+    def tune(self, evaluator: Evaluator) -> TuneTrace:
+        rng = self.rng()
+        space = ConfigSpace(evaluator.contraction)
+        trace = self._trace()
+        trace.strategy = self.name
+        for _ in range(self.budget):
+            config = space.random_config(rng)
+            self._record(trace, config, evaluator.fitness(config))
+        return trace
+
+
+class HillClimb(Tuner):
+    """Greedy local search with random restarts."""
+
+    name = "hill-climb"
+
+    def __init__(self, budget: int = 200, seed: int = 0,
+                 patience: int = 12) -> None:
+        super().__init__(budget, seed)
+        self.patience = patience
+
+    def tune(self, evaluator: Evaluator) -> TuneTrace:
+        rng = self.rng()
+        space = ConfigSpace(evaluator.contraction)
+        trace = self._trace()
+        trace.strategy = self.name
+        current = space.random_config(rng)
+        current_fit = evaluator.fitness(current)
+        self._record(trace, current, current_fit)
+        stale = 0
+        while trace.evaluations < self.budget:
+            candidate = space.neighbor(current, rng)
+            fit = evaluator.fitness(candidate)
+            self._record(trace, candidate, fit)
+            if fit > current_fit:
+                current, current_fit = candidate, fit
+                stale = 0
+            else:
+                stale += 1
+                if stale >= self.patience:
+                    current = space.random_config(rng)
+                    current_fit = evaluator.fitness(current)
+                    if trace.evaluations < self.budget:
+                        self._record(trace, current, current_fit)
+                    stale = 0
+        return trace
+
+
+class SimulatedAnnealing(Tuner):
+    """Metropolis acceptance over single-index perturbations."""
+
+    name = "annealing"
+
+    def __init__(
+        self,
+        budget: int = 200,
+        seed: int = 0,
+        initial_temperature: float = 0.4,
+    ) -> None:
+        super().__init__(budget, seed)
+        self.initial_temperature = initial_temperature
+
+    def tune(self, evaluator: Evaluator) -> TuneTrace:
+        rng = self.rng()
+        space = ConfigSpace(evaluator.contraction)
+        trace = self._trace()
+        trace.strategy = self.name
+        current = space.random_config(rng)
+        current_fit = evaluator.fitness(current)
+        self._record(trace, current, current_fit)
+        while trace.evaluations < self.budget:
+            progress = trace.evaluations / self.budget
+            temperature = self.initial_temperature * (1 - progress) + 1e-6
+            candidate = space.neighbor(current, rng)
+            fit = evaluator.fitness(candidate)
+            self._record(trace, candidate, fit)
+            if fit >= current_fit:
+                accept = True
+            else:
+                # Relative-degradation Metropolis rule.
+                scale = max(current_fit, 1e-9)
+                accept = rng.random() < math.exp(
+                    -(current_fit - fit) / (scale * temperature)
+                )
+            if accept:
+                current, current_fit = candidate, fit
+        return trace
+
+
+class GeneticSearch(Tuner):
+    """Tournament-selection GA (the TC baseline's algorithm, applied to
+    the COGENT-quality template)."""
+
+    name = "genetic"
+
+    def __init__(
+        self,
+        budget: int = 200,
+        seed: int = 0,
+        population: int = 20,
+        elite_fraction: float = 0.1,
+        mutation_rate: float = 0.2,
+        tournament: int = 3,
+    ) -> None:
+        super().__init__(budget, seed)
+        self.population = population
+        self.elite_fraction = elite_fraction
+        self.mutation_rate = mutation_rate
+        self.tournament = tournament
+
+    def tune(self, evaluator: Evaluator) -> TuneTrace:
+        rng = self.rng()
+        space = ConfigSpace(evaluator.contraction)
+        trace = self._trace()
+        trace.strategy = self.name
+        population = [
+            space.random_config(rng) for _ in range(self.population)
+        ]
+        while trace.evaluations < self.budget:
+            scored: List[Tuple[float, KernelConfig]] = []
+            for config in population:
+                if trace.evaluations >= self.budget:
+                    break
+                fit = evaluator.fitness(config)
+                self._record(trace, config, fit)
+                scored.append((fit, config))
+            if not scored:
+                break
+            scored.sort(key=lambda pair: pair[0], reverse=True)
+            n_elite = max(1, int(self.elite_fraction * self.population))
+            next_pop = [config for _, config in scored[:n_elite]]
+            while len(next_pop) < self.population:
+                parents = []
+                for _ in range(2):
+                    picks = rng.integers(len(scored),
+                                         size=self.tournament)
+                    parents.append(scored[int(picks.min())][1])
+                child = space.crossover(parents[0], parents[1], rng)
+                child = space.mutate(child, rng, self.mutation_rate)
+                next_pop.append(child)
+            population = next_pop
+        return trace
+
+
+class ModelDriven(Tuner):
+    """COGENT wrapped in the tuner interface.
+
+    The cost model needs no empirical evaluations; the optional top-k
+    micro-benchmark charges k evaluations, so traces are comparable.
+    """
+
+    name = "model-driven"
+
+    def __init__(self, generator: Optional[Cogent] = None,
+                 budget: int = 0, seed: int = 0) -> None:
+        super().__init__(budget, seed)
+        self.generator = generator
+
+    def tune(self, evaluator: Evaluator) -> TuneTrace:
+        generator = self.generator or Cogent(
+            arch=evaluator.simulator.arch,
+            dtype_bytes=evaluator.dtype_bytes,
+            allow_split=False,
+        )
+        kernel = generator.generate(evaluator.contraction)
+        trace = self._trace()
+        trace.strategy = self.name
+        charged = min(
+            generator.top_k, max(1, len(kernel.candidates))
+        )
+        for cand in kernel.candidates[:charged]:
+            self._record(
+                trace, cand.config, evaluator.fitness(cand.config)
+            )
+        return trace
+
+
+ALL_STRATEGIES = (
+    RandomSearch,
+    HillClimb,
+    SimulatedAnnealing,
+    GeneticSearch,
+)

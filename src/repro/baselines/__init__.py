@@ -1,0 +1,15 @@
+"""Baseline frameworks the paper compares against: NWChem's fixed-strategy
+direct code generator, a Tensor-Comprehensions-style genetic autotuner,
+and naive loop references."""
+
+from .naive import contract_loops, contract_tensordot
+from .nwchem import NwchemGenerator
+from .tc import TcAutotuner, TuneResult
+
+__all__ = [
+    "NwchemGenerator",
+    "TcAutotuner",
+    "TuneResult",
+    "contract_loops",
+    "contract_tensordot",
+]

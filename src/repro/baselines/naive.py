@@ -1,0 +1,57 @@
+"""Naive direct-loop contraction baseline.
+
+The slowest correct implementation: a pure-Python nested loop over the
+full iteration space (for tiny validation cases), plus a vectorised
+numpy variant.  TCCG's benchmark framework includes an equivalent
+"direct nested loop" option; here it mainly serves as an independent
+correctness oracle that shares no code with ``numpy.einsum`` or the
+plan executor.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..core.ir import Contraction
+
+
+def contract_loops(
+    contraction: Contraction, a: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """Pure nested-loop contraction.  O(iteration space); tiny inputs only."""
+    sizes = contraction.sizes
+    externals = contraction.external_indices
+    internals = contraction.internal_indices
+    c = np.zeros(contraction.extents_of(contraction.c), dtype=a.dtype)
+    for ext_point in itertools.product(
+        *(range(sizes[i]) for i in externals)
+    ):
+        env = dict(zip(externals, ext_point))
+        acc = 0.0
+        for int_point in itertools.product(
+            *(range(sizes[i]) for i in internals)
+        ):
+            env.update(zip(internals, int_point))
+            a_idx = tuple(env[i] for i in contraction.a.indices)
+            b_idx = tuple(env[i] for i in contraction.b.indices)
+            acc += a[a_idx] * b[b_idx]
+        c_idx = tuple(env[i] for i in contraction.c.indices)
+        c[c_idx] = acc
+    return c
+
+
+def contract_tensordot(
+    contraction: Contraction, a: np.ndarray, b: np.ndarray
+) -> np.ndarray:
+    """Contraction via ``numpy.tensordot`` + transpose (vectorised)."""
+    internals = contraction.internal_indices
+    a_axes = [contraction.a.position(i) for i in internals]
+    b_axes = [contraction.b.position(i) for i in internals]
+    raw = np.tensordot(a, b, axes=(a_axes, b_axes))
+    raw_order = [
+        i for i in contraction.a.indices if i not in internals
+    ] + [i for i in contraction.b.indices if i not in internals]
+    perm = tuple(raw_order.index(i) for i in contraction.c.indices)
+    return np.ascontiguousarray(np.transpose(raw, perm))

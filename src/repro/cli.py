@@ -1,0 +1,352 @@
+"""Command-line interface for the COGENT reproduction.
+
+Subcommands
+-----------
+
+``gen``
+    Generate a kernel for a contraction expression and print the CUDA
+    source (or the host driver / C emulation source).
+``rank``
+    Show the top configurations by cost-model rank with simulated
+    performance.
+``suite``
+    List the TCCG benchmark suite.
+``bench``
+    Run a framework comparison over (a subset of) the suite and print
+    the Fig. 4/5-style GFLOPS table.
+``tune``
+    Run the Tensor-Comprehensions-style genetic autotuner and print the
+    Fig. 8-style tuning curve.
+
+Examples
+--------
+
+::
+
+    cogent gen "abcd-aebf-dfce" --sizes 24 --arch V100
+    cogent rank "abcdef-gdab-efgc" --sizes 24 --top 10
+    cogent bench --group ccsd_t --arch P100
+    cogent tune sd_t_d2_1 --population 20 --generations 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.generator import Cogent
+from .core.parser import parse, parse_size_spec
+from .core.plan import KernelPlan
+from .evaluation import SuiteRunner, curve_table, format_table, to_csv
+from .gpu.arch import ARCHS
+from .tccg import all_benchmarks, by_group, get
+
+
+def _add_common(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--arch", default="V100", choices=sorted(ARCHS),
+        help="target GPU architecture (default V100)",
+    )
+    p.add_argument(
+        "--dtype", default="double", choices=("double", "float"),
+        help="element type (default double)",
+    )
+
+
+def _dtype_bytes(args: argparse.Namespace) -> int:
+    return 8 if args.dtype == "double" else 4
+
+
+def _resolve_contraction(args: argparse.Namespace):
+    """Expression string or TCCG benchmark name/id -> Contraction."""
+    expr = args.expr
+    try:
+        bench = get(int(expr) if expr.isdigit() else expr)
+        return bench.contraction()
+    except KeyError:
+        return parse(expr, parse_size_spec(args.sizes))
+
+
+def cmd_gen(args: argparse.Namespace) -> int:
+    """Generate a kernel and print/write the chosen backend's source."""
+    cogent = Cogent(
+        arch=args.arch,
+        dtype_bytes=_dtype_bytes(args),
+        top_k=args.top_k,
+        allow_split=not args.no_split,
+    )
+    kernel = cogent.generate(_resolve_contraction(args))
+    if args.emit == "cuda":
+        source = kernel.cuda_source
+    elif args.emit == "driver":
+        source = kernel.cuda_driver_source()
+    elif args.emit == "opencl":
+        source = kernel.opencl_source()
+    else:
+        source = kernel.c_emulation_source()
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(source)
+        print(f"wrote {args.output}")
+    else:
+        print(source)
+    print("// " + kernel.summary().replace("\n", "\n// "), file=sys.stderr)
+    if args.metrics:
+        from .gpu.metrics import collect_metrics
+
+        metrics = collect_metrics(
+            kernel.plan, cogent.arch,
+            simulated=kernel.candidates[0].simulated,
+        )
+        print(metrics.report(), file=sys.stderr)
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Validate a generated kernel against numpy.einsum."""
+    from .core.validate import ALL_CHECKS, validate_kernel
+
+    cogent = Cogent(arch=args.arch, dtype_bytes=_dtype_bytes(args))
+    contraction = _resolve_contraction(args)
+    # Validation executes the schedule in numpy; keep extents small.
+    shrunk = {
+        i: min(contraction.extent(i), args.max_extent)
+        for i in contraction.all_indices
+    }
+    kernel = cogent.generate(contraction.with_sizes(shrunk))
+    checks = args.checks.split(",") if args.checks else ALL_CHECKS
+    report = validate_kernel(kernel, checks)
+    print(f"verifying {kernel.contraction} "
+          f"(config {kernel.config.describe()})")
+    print(report.summary())
+    return 0 if report.passed else 1
+
+
+def cmd_save(args: argparse.Namespace) -> int:
+    """Generate a kernel and persist it as a package directory."""
+    from .core.serialize import save_kernel
+
+    cogent = Cogent(
+        arch=args.arch,
+        dtype_bytes=_dtype_bytes(args),
+        top_k=args.top_k,
+    )
+    kernel = cogent.generate(_resolve_contraction(args))
+    out = save_kernel(kernel, args.directory)
+    print(f"saved kernel package to {out}")
+    print(kernel.summary())
+    return 0
+
+
+def cmd_rank(args: argparse.Namespace) -> int:
+    """Print the top cost-model-ranked configurations."""
+    contraction = _resolve_contraction(args)
+    cogent = Cogent(arch=args.arch, dtype_bytes=_dtype_bytes(args))
+    ranked = cogent.rank_configs(contraction)
+    print(f"{len(ranked)} configurations after pruning; top {args.top}:")
+    print(f"{'rank':>4} {'cost(txns)':>12} {'GFLOPS':>9}  config")
+    for pos, (config, cost) in enumerate(ranked[: args.top]):
+        plan = KernelPlan(contraction, config, _dtype_bytes(args))
+        sim = cogent.predict(plan)
+        print(f"{pos:>4} {cost:>12} {sim.gflops:>9.1f}  {config.describe()}")
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    """List (or export) the TCCG benchmark definitions."""
+    benches = by_group(args.group) if args.group else all_benchmarks()
+    if args.export:
+        from .tccg.io import dump
+
+        dump(benches, args.export)
+        print(f"wrote {len(benches)} benchmark definitions to "
+              f"{args.export}")
+        return 0
+    for bench in benches:
+        flops = bench.flops / 1e9
+        print(f"{bench!s:<45} group={bench.group:<7} {flops:8.2f} GFLOP")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the framework comparison and print the GFLOPS table."""
+    if args.file:
+        from .tccg.io import load
+
+        benches = tuple(load(args.file))
+    else:
+        benches = by_group(args.group) if args.group else all_benchmarks()
+    if args.limit:
+        benches = benches[: args.limit]
+    runner = SuiteRunner(arch=args.arch, dtype_bytes=_dtype_bytes(args))
+    frameworks = args.frameworks.split(",")
+    rows = runner.compare(benches, frameworks)
+    if args.csv:
+        print(to_csv(rows, frameworks))
+    else:
+        print(
+            format_table(
+                rows, frameworks,
+                title=f"TCCG benchmark, {args.arch}, {args.dtype} "
+                "(simulated GFLOPS)",
+            )
+        )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Regenerate the Figs. 4-8 experiment report."""
+    from .evaluation.report import generate_report
+
+    text = generate_report(quick=not args.full)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    """Run the TC-style genetic autotuner and print its curve."""
+    from .baselines.tc import TcAutotuner
+    from .gpu.arch import get_arch
+
+    contraction = _resolve_contraction(args)
+    tuner = TcAutotuner(
+        get_arch(args.arch),
+        dtype_bytes=_dtype_bytes(args),
+        population=args.population,
+        generations=args.generations,
+        seed=args.seed,
+    )
+    result = tuner.tune(contraction)
+    print(f"untuned: {result.untuned_gflops:.2f} GFLOPS")
+    print(curve_table(result.curve, stride=max(1, len(result.curve) // 12)))
+    print(
+        f"best: {result.best_gflops:.1f} GFLOPS after "
+        f"{result.evaluations} code versions "
+        f"(modeled tuning time {result.modeled_tuning_time_s:.0f} s)"
+    )
+    cogent = Cogent(arch=args.arch, dtype_bytes=_dtype_bytes(args))
+    kernel = cogent.generate(contraction)
+    print(
+        f"COGENT (model-driven): "
+        f"{kernel.candidates[0].simulated.gflops:.1f} GFLOPS in "
+        f"{kernel.generation_time_s:.2f} s of code generation"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="cogent",
+        description="Model-driven GPU code generator for tensor "
+        "contractions (CGO 2019 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("gen", help="generate a kernel")
+    p_gen.add_argument("expr", help="contraction expression or TCCG name")
+    p_gen.add_argument("--sizes", help="extents, e.g. '24' or 'a=16,b=32'")
+    p_gen.add_argument(
+        "--emit", default="cuda",
+        choices=("cuda", "driver", "cemu", "opencl"),
+    )
+    p_gen.add_argument("--top-k", type=int, default=64)
+    p_gen.add_argument("--no-split", action="store_true")
+    p_gen.add_argument(
+        "--metrics", action="store_true",
+        help="print a profiler-style metric report to stderr",
+    )
+    p_gen.add_argument("-o", "--output")
+    _add_common(p_gen)
+    p_gen.set_defaults(func=cmd_gen)
+
+    p_verify = sub.add_parser(
+        "verify", help="validate a kernel against numpy.einsum"
+    )
+    p_verify.add_argument("expr", help="expression or TCCG name")
+    p_verify.add_argument("--sizes")
+    p_verify.add_argument(
+        "--checks", help="comma list: plan,cemu,opencl,trace"
+    )
+    p_verify.add_argument(
+        "--max-extent", type=int, default=10,
+        help="shrink extents for the numerical checks (default 10)",
+    )
+    _add_common(p_verify)
+    p_verify.set_defaults(func=cmd_verify)
+
+    p_save = sub.add_parser(
+        "save", help="generate and persist a kernel package"
+    )
+    p_save.add_argument("expr", help="contraction expression or TCCG name")
+    p_save.add_argument("directory", help="output directory")
+    p_save.add_argument("--sizes")
+    p_save.add_argument("--top-k", type=int, default=64)
+    _add_common(p_save)
+    p_save.set_defaults(func=cmd_save)
+
+    p_rank = sub.add_parser("rank", help="rank configurations by cost")
+    p_rank.add_argument("expr")
+    p_rank.add_argument("--sizes")
+    p_rank.add_argument("--top", type=int, default=10)
+    _add_common(p_rank)
+    p_rank.set_defaults(func=cmd_rank)
+
+    p_suite = sub.add_parser("suite", help="list TCCG benchmarks")
+    p_suite.add_argument("--group", choices=("ml", "mo", "ccsd", "ccsd_t"))
+    p_suite.add_argument(
+        "--export", metavar="FILE",
+        help="write the definitions to a benchmark file",
+    )
+    p_suite.set_defaults(func=cmd_suite)
+
+    p_bench = sub.add_parser("bench", help="compare frameworks")
+    p_bench.add_argument("--group", choices=("ml", "mo", "ccsd", "ccsd_t"))
+    p_bench.add_argument(
+        "--file", metavar="FILE",
+        help="run benchmarks from a definition file instead of the suite",
+    )
+    p_bench.add_argument("--limit", type=int, default=0)
+    p_bench.add_argument(
+        "--frameworks", default="cogent,nwchem,talsh",
+        help="comma list: cogent,nwchem,talsh,tc,tc_untuned",
+    )
+    p_bench.add_argument("--csv", action="store_true")
+    _add_common(p_bench)
+    p_bench.set_defaults(func=cmd_bench)
+
+    p_report = sub.add_parser(
+        "report", help="regenerate the experiment report (Figs. 4-8)"
+    )
+    p_report.add_argument(
+        "--full", action="store_true",
+        help="run the full 48-entry suite (minutes) instead of a sample",
+    )
+    p_report.add_argument("-o", "--output")
+    p_report.set_defaults(func=cmd_report)
+
+    p_tune = sub.add_parser("tune", help="run the TC-style autotuner")
+    p_tune.add_argument("expr")
+    p_tune.add_argument("--sizes")
+    p_tune.add_argument("--population", type=int, default=20)
+    p_tune.add_argument("--generations", type=int, default=5)
+    p_tune.add_argument("--seed", type=int, default=0)
+    _add_common(p_tune)
+    p_tune.set_defaults(func=cmd_tune)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,1 @@
+"""COGENT core: IR, parsing, enumeration, cost model, code generation."""

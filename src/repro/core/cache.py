@@ -1,0 +1,183 @@
+"""Kernel caching and the high-level ``contract`` entry point.
+
+Code generation costs ~0.3-1.5 s per contraction (search dominated);
+applications like the CCSD(T) driver evaluate the same contraction
+shapes repeatedly.  :class:`KernelCache` memoises generated kernels by
+(expression structure, size bucket, architecture, dtype) in memory and
+— optionally — persists kernel packages on disk via
+:mod:`repro.core.serialize`.
+
+:func:`contract` is the one-call numpy-facing API: parse, generate (or
+fetch from cache), execute the kernel's schedule on the given operands.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..gpu.arch import GpuArch
+from .generator import Cogent, GeneratedKernel
+from .ir import Contraction
+from .parser import parse
+
+
+def size_bucket(extent: int) -> int:
+    """Round an extent to its power-of-two bucket.
+
+    Kernels are correct for any extents; only the *choice* of
+    configuration depends on size, and nearby sizes share optimal
+    configurations.  Bucketing by powers of two keeps the cache small
+    without noticeably hurting the picks.
+    """
+    if extent <= 1:
+        return 1
+    return 1 << max(0, round(math.log2(extent)))
+
+
+def cache_key(
+    contraction: Contraction, arch: GpuArch, dtype_bytes: int
+) -> str:
+    """A stable string key for one generation request."""
+    structure = "|".join(
+        f"{t.name}:{','.join(t.indices)}"
+        for t in (contraction.c, contraction.a, contraction.b)
+    )
+    sizes = ",".join(
+        f"{i}={size_bucket(contraction.extent(i))}"
+        for i in contraction.all_indices
+    )
+    raw = f"{structure};{sizes};{arch.name};{dtype_bytes}"
+    return hashlib.sha256(raw.encode()).hexdigest()[:16]
+
+
+class KernelCache:
+    """Memoises generated kernels; optionally persists them to disk."""
+
+    def __init__(
+        self,
+        generator: Optional[Cogent] = None,
+        directory: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self.generator = generator or Cogent()
+        self.directory = Path(directory) if directory else None
+        self._memory: Dict[str, GeneratedKernel] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, contraction: Contraction) -> GeneratedKernel:
+        """Fetch or generate the kernel for ``contraction``."""
+        key = cache_key(
+            contraction, self.generator.arch, self.generator.dtype_bytes
+        )
+        kernel = self._memory.get(key)
+        if kernel is not None:
+            self.hits += 1
+            return kernel
+        self.misses += 1
+        kernel = self.generator.generate(contraction)
+        self._memory[key] = kernel
+        if self.directory is not None:
+            from .serialize import save_kernel
+
+            save_kernel(kernel, self.directory / key)
+        return kernel
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
+#: Process-wide default cache used by :func:`contract`.
+_default_caches: Dict[Tuple[str, int], KernelCache] = {}
+
+
+def _default_cache(arch: str, dtype_bytes: int) -> KernelCache:
+    key = (arch, dtype_bytes)
+    if key not in _default_caches:
+        _default_caches[key] = KernelCache(
+            Cogent(arch=arch, dtype_bytes=dtype_bytes)
+        )
+    return _default_caches[key]
+
+
+def contract(
+    expression: str,
+    a: np.ndarray,
+    b: np.ndarray,
+    arch: str = "V100",
+    cache: Optional[KernelCache] = None,
+) -> np.ndarray:
+    """Contract ``a`` and ``b`` per ``expression`` via a COGENT kernel.
+
+    The expression may use any supported syntax; the operand shapes
+    bind the index extents.  The generated kernel's schedule is
+    executed numerically (the validation path) — on a real GPU the same
+    call would launch ``kernel.cuda_source``.
+
+    >>> import numpy as np
+    >>> a = np.random.rand(8, 5); b = np.random.rand(5, 9)
+    >>> c = contract("ab-ak-kb", a, b)
+    >>> np.allclose(c, a @ b)
+    True
+    """
+    dtype_bytes = 4 if a.dtype == np.float32 else 8
+    probe = parse(expression, 2)
+    sizes: Dict[str, int] = {}
+    for tensor, array in ((probe.a, a), (probe.b, b)):
+        if array.ndim != tensor.ndim:
+            raise ValueError(
+                f"operand {tensor.name} has {array.ndim} axes, expected "
+                f"{tensor.ndim} for {expression!r}"
+            )
+        for index, extent in zip(tensor.indices, array.shape):
+            if sizes.setdefault(index, extent) != extent:
+                raise ValueError(
+                    f"inconsistent extent for index {index!r}"
+                )
+    contraction = parse(expression, sizes)
+    if cache is None:
+        cache = _default_cache(arch, dtype_bytes)
+    kernel = cache.get(contraction)
+    if dict(kernel.original_contraction.sizes) != sizes:
+        # Cache hit from a nearby size bucket: rebind the plan to the
+        # actual extents before executing.  If a recorded rewrite no
+        # longer applies (e.g. a split factor that does not divide the
+        # new extent), fall back to a fresh generation.
+        try:
+            kernel = _rebind_kernel(kernel, contraction)
+        except Exception:
+            kernel = cache.generator.generate(contraction)
+    return kernel.execute(a, b)
+
+
+def _rebind_kernel(
+    kernel: GeneratedKernel, contraction: Contraction
+) -> GeneratedKernel:
+    """Rebind a cached kernel to the actual problem extents."""
+    from dataclasses import replace
+
+    from .library import clamp_config
+    from .merging import merge_pair
+    from .plan import KernelPlan
+    from .splitting import split_index
+
+    current = contraction
+    for spec in kernel.merge_specs:
+        current, _ = merge_pair(current, spec.low_name, spec.high_name)
+    merged = current
+    for spec in kernel.split_specs:
+        current, _ = split_index(current, spec.index, spec.factor)
+    config = clamp_config(kernel.config, current)
+    plan = KernelPlan(current, config, kernel.plan.dtype_bytes)
+    return replace(
+        kernel,
+        contraction=current,
+        plan=plan,
+        original_contraction=contraction,
+        merged_contraction=merged,
+        _cuda_source=None,
+    )

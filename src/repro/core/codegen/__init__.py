@@ -1,0 +1,16 @@
+"""Code emission backends: CUDA kernels, host drivers, OpenCL kernels,
+and a compilable sequential-C emulation."""
+
+from .cemu import compile_and_run, generate_c_emulation
+from .cuda import generate_cuda_kernel, generate_launch_snippet
+from .driver import generate_cuda_driver
+from .opencl import generate_opencl_kernel
+
+__all__ = [
+    "compile_and_run",
+    "generate_c_emulation",
+    "generate_cuda_driver",
+    "generate_cuda_kernel",
+    "generate_launch_snippet",
+    "generate_opencl_kernel",
+]

@@ -1,0 +1,313 @@
+"""Sequential-C emulation backend.
+
+Emits the *same* kernel plan as :mod:`repro.core.codegen.cuda`, but as
+plain C that runs on the host CPU: the implicit parallelism of CUDA is
+made explicit by looping over thread blocks and, inside each
+barrier-delimited phase, over threads.  The emitted program reads the
+input tensors from raw little-endian files, runs the kernel emulation,
+and writes the output tensor — so the generated *source text* (index
+arithmetic, staging layout, bounds handling) can be compiled with a
+stock C compiler and validated end-to-end against ``numpy.einsum``.
+
+This is the offline substitute for executing the CUDA kernel with
+pycuda/cupy on real hardware (see DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from ..plan import KernelPlan
+from . import indexing as ix
+from .cuda import scalar_type
+
+
+def _kernel_function(plan: KernelPlan, name: str) -> List[str]:
+    scalar = scalar_type(plan.dtype_bytes)
+    contraction = plan.contraction
+    c, a, b = contraction.c, contraction.a, contraction.b
+
+    params = [
+        f"{scalar}* g_{c.name}",
+        f"const {scalar}* g_{a.name}",
+        f"const {scalar}* g_{b.name}",
+    ]
+    params += [f"int {ix.extent_param(i)}" for i in contraction.all_indices]
+
+    body: List[str] = []
+    body += ix.stride_definitions(c)
+    body += ix.stride_definitions(a)
+    body += ix.stride_definitions(b)
+    body += ix.tile_count_definitions(plan.block_axes)
+    body += ix.tile_count_definitions(plan.step_axes)
+
+    nblock_terms = [ix.ntiles_var(x.index) for x in plan.block_axes] or ["1"]
+    nstep_terms = [ix.ntiles_var(x.index) for x in plan.step_axes] or ["1"]
+    nthreads = plan.threads_per_block
+    reg_elems = plan.reg_x * plan.reg_y
+    body += [
+        f"const long num_blocks_ = (long){' * (long)'.join(nblock_terms)};",
+        f"const int nsteps_ = {' * '.join(nstep_terms)};",
+        f"{scalar}* s_a = ({scalar}*)malloc(sizeof({scalar})"
+        f" * {plan.smem_x_elements});",
+        f"{scalar}* s_b = ({scalar}*)malloc(sizeof({scalar})"
+        f" * {plan.smem_y_elements});",
+        f"{scalar}* r_c = ({scalar}*)malloc(sizeof({scalar})"
+        f" * {nthreads} * {reg_elems});",
+        "if (!s_a || !s_b || !r_c) { exit(2); }",
+    ]
+
+    block_body: List[str] = []
+    block_body += ix.decompose_offsets(
+        "(int)blk_", plan.block_axes, ix.block_offset_var, "bid_"
+    )
+    block_body.append(
+        f"memset(r_c, 0, sizeof({scalar}) * {nthreads} * {reg_elems});"
+    )
+
+    step_body: List[str] = []
+    step_body += ix.decompose_offsets(
+        "step_", plan.step_axes, ix.step_offset_var, "sid_"
+    )
+    for tensor, buffer in ((a, "s_a"), (b, "s_b")):
+        frag = ix.TileLoadFragment(plan, tensor)
+        inner, addr, bounds, smem_idx = frag.body("l_")
+        n_elems = plan.tile_elements(tensor)
+        width = plan.staging_vector_width(tensor)
+        if width == 1:
+            step_body.append(
+                f"for (long l_ = 0; l_ < {n_elems}; ++l_) {{"
+            )
+            step_body += ix.indent(inner, 1)
+            step_body += ix.indent(
+                [
+                    f"{buffer}[{smem_idx}] = ({bounds})"
+                    f" ? g_{tensor.name}[{addr}] : ({scalar})0;",
+                ],
+                1,
+            )
+            step_body.append("}")
+            continue
+        # Mirror the CUDA backend's vector grouping (scalar lanes here)
+        # so the group/lane addressing is exercised by the compiled
+        # emulation as well.
+        lane_stride = plan.smem_lane_stride(tensor)
+        step_body.append(
+            f"for (long l_ = 0; l_ < {n_elems}; l_ += {width}) {{"
+        )
+        step_body += ix.indent(inner, 1)
+        grouped = [f"if ({bounds}) {{"]
+        for lane in range(width):
+            grouped.append(
+                f"    {buffer}[({smem_idx}) + {lane * lane_stride}]"
+                f" = g_{tensor.name}[({addr}) + {lane}];"
+            )
+        grouped.append("} else {")
+        for lane in range(width):
+            grouped.append(
+                f"    {buffer}[({smem_idx}) + {lane * lane_stride}]"
+                f" = ({scalar})0;"
+            )
+        grouped.append("}")
+        step_body += ix.indent(grouped, 1)
+        step_body.append("}")
+    btx = plan.config.block_tile_x
+    bty = plan.config.block_tile_y
+    step_body += [
+        f"for (int tid_ = 0; tid_ < {nthreads}; ++tid_) {{",
+        f"    const int tx_ = tid_ % {plan.tb_x};",
+        f"    const int ty_ = tid_ / {plan.tb_x};",
+        f"    for (int kk_ = 0; kk_ < {plan.tb_k_tile}; ++kk_)",
+        f"        for (int rx_ = 0; rx_ < {plan.reg_x}; ++rx_)",
+        f"            for (int ry_ = 0; ry_ < {plan.reg_y}; ++ry_)",
+        f"                r_c[(tid_ * {plan.reg_x} + rx_) * {plan.reg_y}"
+        f" + ry_] +=",
+        f"                    s_a[kk_ * {btx} + rx_ * {plan.tb_x} + tx_]"
+        f" * s_b[kk_ * {bty} + ry_ * {plan.tb_y} + ty_];",
+        "}",
+    ]
+    block_body.append("for (int step_ = 0; step_ < nsteps_; ++step_) {")
+    block_body += ix.indent(step_body, 1)
+    block_body.append("}")
+
+    # Store phase: per thread, per register element.
+    store = ix.StoreFragment(plan)
+    thread_lines, thread_coords = store.thread_coord_decls("tx_", "ty_")
+    reg_lines, reg_coords = store.reg_coord_decls("rx_", "ry_")
+    addr_lines, addr, bounds = store.address_and_bounds(
+        {**thread_coords, **reg_coords}
+    )
+    store_body: List[str] = [
+        f"for (int tid_ = 0; tid_ < {nthreads}; ++tid_) {{",
+        f"    const int tx_ = tid_ % {plan.tb_x};",
+        f"    const int ty_ = tid_ / {plan.tb_x};",
+    ]
+    store_body += ix.indent(thread_lines, 1)
+    store_body += [
+        f"    for (int ry_ = 0; ry_ < {plan.reg_y}; ++ry_) {{",
+        f"        for (int rx_ = 0; rx_ < {plan.reg_x}; ++rx_) {{",
+    ]
+    inner_store = reg_lines + addr_lines + [
+        f"if ({bounds}) {{",
+        f"    g_{c.name}[{addr}] = r_c[(tid_ * {plan.reg_x} + rx_)"
+        f" * {plan.reg_y} + ry_];",
+        "}",
+    ]
+    store_body += ix.indent(inner_store, 3)
+    store_body += ["        }", "    }", "}"]
+    block_body += store_body
+
+    body.append("for (long blk_ = 0; blk_ < num_blocks_; ++blk_) {")
+    body += ix.indent(block_body, 1)
+    body.append("}")
+    body.append("free(s_a); free(s_b); free(r_c);")
+
+    lines = [f"static void {name}({', '.join(params)})", "{"]
+    lines += ix.indent(body, 1)
+    lines.append("}")
+    return lines
+
+
+def _main_function(plan: KernelPlan, kernel_name: str) -> List[str]:
+    scalar = scalar_type(plan.dtype_bytes)
+    contraction = plan.contraction
+    indices = contraction.all_indices
+    c, a, b = contraction.c, contraction.a, contraction.b
+
+    def count_expr(tensor) -> str:
+        return " * ".join(
+            f"(long){ix.extent_param(i)}" for i in tensor.indices
+        )
+
+    lines = [
+        "int main(int argc, char** argv)",
+        "{",
+        f"    if (argc != {len(indices) + 4}) {{",
+        '        fprintf(stderr, "usage: %s '
+        + " ".join(f"n_{i}" for i in indices)
+        + ' A.bin B.bin C.bin\\n", argv[0]);',
+        "        return 1;",
+        "    }",
+    ]
+    for pos, index in enumerate(indices, start=1):
+        lines.append(
+            f"    const int {ix.extent_param(index)} = atoi(argv[{pos}]);"
+        )
+    base = len(indices)
+    lines += [
+        f"    const long elems_a = {count_expr(a)};",
+        f"    const long elems_b = {count_expr(b)};",
+        f"    const long elems_c = {count_expr(c)};",
+        f"    {scalar}* A_ = ({scalar}*)malloc(sizeof({scalar}) * elems_a);",
+        f"    {scalar}* B_ = ({scalar}*)malloc(sizeof({scalar}) * elems_b);",
+        f"    {scalar}* C_ = ({scalar}*)calloc(elems_c, sizeof({scalar}));",
+        "    if (!A_ || !B_ || !C_) return 2;",
+        f'    FILE* fa = fopen(argv[{base + 1}], "rb");',
+        f'    FILE* fb = fopen(argv[{base + 2}], "rb");',
+        "    if (!fa || !fb) return 3;",
+        f"    if (fread(A_, sizeof({scalar}), elems_a, fa)"
+        " != (size_t)elems_a) return 4;",
+        f"    if (fread(B_, sizeof({scalar}), elems_b, fb)"
+        " != (size_t)elems_b) return 4;",
+        "    fclose(fa); fclose(fb);",
+        f"    {kernel_name}(C_, A_, B_, "
+        + ", ".join(ix.extent_param(i) for i in indices)
+        + ");",
+        f'    FILE* fc = fopen(argv[{base + 3}], "wb");',
+        "    if (!fc) return 5;",
+        f"    if (fwrite(C_, sizeof({scalar}), elems_c, fc)"
+        " != (size_t)elems_c) return 6;",
+        "    fclose(fc);",
+        "    free(A_); free(B_); free(C_);",
+        "    return 0;",
+        "}",
+    ]
+    return lines
+
+
+def generate_c_emulation(
+    plan: KernelPlan, kernel_name: str = "tc_kernel_emu"
+) -> str:
+    """Emit a standalone C program emulating the kernel plan."""
+    lines = [
+        "/* Generated by COGENT-repro: sequential C emulation of the",
+        f" * CUDA kernel for  {plan.contraction}",
+        f" * config: {plan.config.describe()}",
+        " */",
+        "#include <stdio.h>",
+        "#include <stdlib.h>",
+        "#include <string.h>",
+        "",
+    ]
+    lines += _kernel_function(plan, kernel_name)
+    lines.append("")
+    lines += _main_function(plan, kernel_name)
+    return "\n".join(lines) + "\n"
+
+
+class EmulationError(RuntimeError):
+    """Raised when compiling or running the emulation program fails."""
+
+
+def compile_and_run(
+    plan: KernelPlan,
+    a: np.ndarray,
+    b: np.ndarray,
+    cc: str = "cc",
+    workdir: Optional[Path] = None,
+    keep_files: bool = False,
+) -> np.ndarray:
+    """Compile the emitted C program, run it on ``a``/``b``, return C.
+
+    Arrays are exchanged through raw column-major-strided buffers: the
+    generated code treats the *first* index as fastest, so numpy arrays
+    are written in Fortran order and the result is read back the same
+    way.
+    """
+    contraction = plan.contraction
+    scalar = np.float64 if plan.dtype_bytes == 8 else np.float32
+    a = np.asarray(a, dtype=scalar)
+    b = np.asarray(b, dtype=scalar)
+
+    tmpdir = Path(tempfile.mkdtemp(prefix="cogent_emu_")) if workdir is None \
+        else Path(workdir)
+    tmpdir.mkdir(parents=True, exist_ok=True)
+    src = tmpdir / "kernel_emu.c"
+    exe = tmpdir / "kernel_emu"
+    a_path, b_path, c_path = (
+        tmpdir / "A.bin", tmpdir / "B.bin", tmpdir / "C.bin"
+    )
+    src.write_text(generate_c_emulation(plan))
+    compile_cmd = [cc, "-O2", "-std=c99", "-o", str(exe), str(src)]
+    proc = subprocess.run(
+        compile_cmd, capture_output=True, text=True
+    )
+    if proc.returncode != 0:
+        raise EmulationError(
+            f"compilation failed:\n{proc.stderr}\n--- source ---\n"
+            + src.read_text()
+        )
+
+    a.T.ravel(order="C").tofile(a_path)  # first index fastest
+    b.T.ravel(order="C").tofile(b_path)
+    extents = [str(contraction.extent(i)) for i in contraction.all_indices]
+    run_cmd = [str(exe), *extents, str(a_path), str(b_path), str(c_path)]
+    proc = subprocess.run(run_cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        raise EmulationError(
+            f"emulation run failed (rc={proc.returncode}): {proc.stderr}"
+        )
+    flat = np.fromfile(c_path, dtype=scalar)
+    shape = contraction.extents_of(contraction.c)
+    result = flat.reshape(tuple(reversed(shape))).T
+    if not keep_files:
+        for path in (src, exe, a_path, b_path, c_path):
+            path.unlink(missing_ok=True)
+        if workdir is None:
+            tmpdir.rmdir()
+    return np.ascontiguousarray(result)

@@ -1,0 +1,214 @@
+"""Execute generated OpenCL kernels on the host via a pthread harness.
+
+OpenCL C is near-enough to C99 that the *actual generated kernel text*
+can be compiled by the system C compiler given a small shim header:
+
+* ``__kernel`` / ``__global`` / ``restrict`` — erased;
+* ``__local`` — mapped to ``static`` (shared across the work-group's
+  threads; work-groups are executed one at a time);
+* ``barrier(CLK_LOCAL_MEM_FENCE)`` — a ``pthread_barrier_t`` across the
+  work-group's threads;
+* ``get_local_id`` / ``get_group_id`` — thread-local / global lookups.
+
+The harness launches one pthread per work-item of one work-group,
+iterates work-groups sequentially, and performs real barrier
+synchronisation — i.e. the OpenCL execution model, faithfully, on the
+CPU.  This validates the OpenCL backend's emitted source end-to-end
+against ``numpy.einsum`` (no OpenCL runtime exists in this offline
+environment).
+"""
+
+from __future__ import annotations
+
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from ..plan import KernelPlan
+from . import indexing as ix
+from .cemu import EmulationError
+from .cuda import scalar_type
+from .opencl import generate_opencl_kernel
+
+_SHIM = """\
+#include <pthread.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <stddef.h>
+
+static pthread_barrier_t wg_barrier_;
+static int wg_group_id_;
+static __thread int wg_local_id_[2];
+
+#define __kernel
+#define __global
+#define __local static
+#define CLK_LOCAL_MEM_FENCE 0
+#define barrier(flags) pthread_barrier_wait(&wg_barrier_)
+#define __attribute__(x)
+static inline size_t get_local_id(int dim) { return wg_local_id_[dim]; }
+static inline size_t get_group_id(int dim) { (void)dim; return wg_group_id_; }
+"""
+
+
+def generate_opencl_harness(
+    plan: KernelPlan, kernel_name: str = "tc_kernel"
+) -> str:
+    """A standalone C program embedding and driving the OpenCL kernel."""
+    scalar = scalar_type(plan.dtype_bytes)
+    contraction = plan.contraction
+    indices = contraction.all_indices
+    c, a, b = contraction.c, contraction.a, contraction.b
+
+    kernel_src = generate_opencl_kernel(plan, kernel_name)
+    # The fp64 pragma is an OpenCL-ism; drop it for the C compiler.
+    kernel_src = "\n".join(
+        line for line in kernel_src.splitlines()
+        if not line.startswith("#pragma OPENCL")
+    )
+
+    def count_expr(tensor) -> str:
+        return " * ".join(
+            f"(long){ix.extent_param(i)}" for i in tensor.indices
+        )
+
+    nthreads = plan.threads_per_block
+    grid_terms = [
+        f"(long)(({ix.extent_param(axis.index)} + {axis.tile} - 1)"
+        f" / {axis.tile})"
+        for axis in plan.block_axes
+    ] or ["1"]
+
+    lines: List[str] = [_SHIM, kernel_src, ""]
+    lines += [
+        "typedef struct {",
+        f"    {scalar} *c; const {scalar} *a; const {scalar} *b;",
+        f"    int extents[{len(indices)}];",
+        "    int tx; int ty;",
+        "} work_item_arg_t;",
+        "",
+        "static void* work_item_(void* p)",
+        "{",
+        "    work_item_arg_t* w = (work_item_arg_t*)p;",
+        "    wg_local_id_[0] = w->tx;",
+        "    wg_local_id_[1] = w->ty;",
+        f"    {kernel_name}(w->c, w->a, w->b, "
+        + ", ".join(f"w->extents[{k}]" for k in range(len(indices)))
+        + ");",
+        "    return NULL;",
+        "}",
+        "",
+        "int main(int argc, char** argv)",
+        "{",
+        f"    if (argc != {len(indices) + 4}) return 1;",
+    ]
+    for pos, index in enumerate(indices, start=1):
+        lines.append(
+            f"    const int {ix.extent_param(index)} = atoi(argv[{pos}]);"
+        )
+    base = len(indices)
+    lines += [
+        f"    const long elems_a = {count_expr(a)};",
+        f"    const long elems_b = {count_expr(b)};",
+        f"    const long elems_c = {count_expr(c)};",
+        f"    {scalar}* A_ = ({scalar}*)malloc(sizeof({scalar}) * elems_a);",
+        f"    {scalar}* B_ = ({scalar}*)malloc(sizeof({scalar}) * elems_b);",
+        f"    {scalar}* C_ = ({scalar}*)calloc(elems_c, sizeof({scalar}));",
+        "    if (!A_ || !B_ || !C_) return 2;",
+        f'    FILE* fa = fopen(argv[{base + 1}], "rb");',
+        f'    FILE* fb = fopen(argv[{base + 2}], "rb");',
+        "    if (!fa || !fb) return 3;",
+        f"    if (fread(A_, sizeof({scalar}), elems_a, fa)"
+        " != (size_t)elems_a) return 4;",
+        f"    if (fread(B_, sizeof({scalar}), elems_b, fb)"
+        " != (size_t)elems_b) return 4;",
+        "    fclose(fa); fclose(fb);",
+        "",
+        f"    const long num_groups_ = {' * '.join(grid_terms)};",
+        f"    pthread_t threads_[{nthreads}];",
+        f"    work_item_arg_t args_[{nthreads}];",
+        f"    pthread_barrier_init(&wg_barrier_, NULL, {nthreads});",
+        "    for (long g_ = 0; g_ < num_groups_; ++g_) {",
+        "        wg_group_id_ = (int)g_;",
+        f"        for (int t_ = 0; t_ < {nthreads}; ++t_) {{",
+        "            args_[t_].c = C_; args_[t_].a = A_; args_[t_].b = B_;",
+    ]
+    for k, index in enumerate(indices):
+        lines.append(
+            f"            args_[t_].extents[{k}] = "
+            f"{ix.extent_param(index)};"
+        )
+    lines += [
+        f"            args_[t_].tx = t_ % {plan.tb_x};",
+        f"            args_[t_].ty = t_ / {plan.tb_x};",
+        "            pthread_create(&threads_[t_], NULL, work_item_,"
+        " &args_[t_]);",
+        "        }",
+        f"        for (int t_ = 0; t_ < {nthreads}; ++t_)",
+        "            pthread_join(threads_[t_], NULL);",
+        "    }",
+        "    pthread_barrier_destroy(&wg_barrier_);",
+        f'    FILE* fc = fopen(argv[{base + 3}], "wb");',
+        "    if (!fc) return 5;",
+        f"    if (fwrite(C_, sizeof({scalar}), elems_c, fc)"
+        " != (size_t)elems_c) return 6;",
+        "    fclose(fc);",
+        "    free(A_); free(B_); free(C_);",
+        "    return 0;",
+        "}",
+    ]
+    return "\n".join(lines) + "\n"
+
+
+def compile_and_run_opencl(
+    plan: KernelPlan,
+    a: np.ndarray,
+    b: np.ndarray,
+    cc: str = "cc",
+    workdir: Optional[Path] = None,
+) -> np.ndarray:
+    """Compile the pthread harness around the OpenCL kernel and run it."""
+    contraction = plan.contraction
+    scalar = np.float64 if plan.dtype_bytes == 8 else np.float32
+    a = np.asarray(a, dtype=scalar)
+    b = np.asarray(b, dtype=scalar)
+
+    tmpdir = Path(tempfile.mkdtemp(prefix="cogent_clemu_")) \
+        if workdir is None else Path(workdir)
+    tmpdir.mkdir(parents=True, exist_ok=True)
+    src = tmpdir / "kernel_cl_emu.c"
+    exe = tmpdir / "kernel_cl_emu"
+    a_path, b_path, c_path = (
+        tmpdir / "A.bin", tmpdir / "B.bin", tmpdir / "C.bin"
+    )
+    src.write_text(generate_opencl_harness(plan))
+    proc = subprocess.run(
+        [cc, "-O2", "-std=gnu99", "-pthread", "-o", str(exe), str(src)],
+        capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        raise EmulationError(
+            f"OpenCL-harness compilation failed:\n{proc.stderr}"
+        )
+    a.T.ravel(order="C").tofile(a_path)
+    b.T.ravel(order="C").tofile(b_path)
+    extents = [str(contraction.extent(i)) for i in contraction.all_indices]
+    proc = subprocess.run(
+        [str(exe), *extents, str(a_path), str(b_path), str(c_path)],
+        capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        raise EmulationError(
+            f"OpenCL-harness run failed (rc={proc.returncode})"
+        )
+    flat = np.fromfile(c_path, dtype=scalar)
+    shape = contraction.extents_of(contraction.c)
+    result = flat.reshape(tuple(reversed(shape))).T
+    for path in (src, exe, a_path, b_path, c_path):
+        path.unlink(missing_ok=True)
+    if workdir is None:
+        tmpdir.rmdir()
+    return np.ascontiguousarray(result)

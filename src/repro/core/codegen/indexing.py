@@ -1,0 +1,271 @@
+"""Index-arithmetic fragments shared by the CUDA and C-emulation emitters.
+
+Both backends emit the same kernel schema (paper Algorithm 1); the pieces
+that involve strides, mixed-radix decompositions and bounds checks are
+built here once, as lists of C statements, so the two backends cannot
+drift apart.
+
+Naming conventions used in generated code (for an index named ``a`` and a
+tensor named ``A``):
+
+``n_a``      extent of ``a`` (kernel parameter)
+``T_A``      tile-size macro prefix — tiles are emitted as literals
+``st_A_a``   element stride of ``a`` within tensor ``A``
+``nt_a``     number of tiles covering ``a``
+``boff_a``   this block's global offset along ``a``
+``soff_e``   this step's global offset along internal index ``e``
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..ir import TensorRef
+from ..mapping import Dim
+from ..plan import Axis, KernelPlan
+
+
+def extent_param(index: str) -> str:
+    return f"n_{index}"
+
+
+def stride_var(tensor: str, index: str) -> str:
+    return f"st_{tensor}_{index}"
+
+
+def ntiles_var(index: str) -> str:
+    return f"nt_{index}"
+
+
+def block_offset_var(index: str) -> str:
+    return f"boff_{index}"
+
+
+def step_offset_var(index: str) -> str:
+    return f"soff_{index}"
+
+
+def stride_definitions(tensor: TensorRef) -> List[str]:
+    """Column-major stride definitions for ``tensor`` (FVI stride 1)."""
+    lines: List[str] = []
+    acc_terms: List[str] = []
+    for index in tensor.indices:
+        if acc_terms:
+            expr = " * ".join(acc_terms)
+        else:
+            expr = "1"
+        lines.append(
+            f"const long {stride_var(tensor.name, index)} = {expr};"
+        )
+        acc_terms.append(f"(long){extent_param(index)}")
+    return lines
+
+
+def tile_count_definitions(axes: Sequence[Axis]) -> List[str]:
+    """``nt_<i> = ceil(n_<i> / T_i)`` for every axis."""
+    return [
+        f"const int {ntiles_var(a.index)} = "
+        f"({extent_param(a.index)} + {a.tile} - 1) / {a.tile};"
+        for a in axes
+    ]
+
+
+def decompose_offsets(
+    source: str, axes: Sequence[Axis], offset_namer, temp: str
+) -> List[str]:
+    """Decompose a linear id into per-axis tile offsets, fastest-first."""
+    lines = [f"int {temp} = {source};"]
+    for i, axis in enumerate(axes):
+        off = offset_namer(axis.index)
+        if i + 1 < len(axes):
+            lines.append(
+                f"const int {off} = ({temp} % {ntiles_var(axis.index)})"
+                f" * {axis.tile};"
+            )
+            lines.append(f"{temp} /= {ntiles_var(axis.index)};")
+        else:
+            lines.append(f"const int {off} = {temp} * {axis.tile};")
+    if not axes:
+        lines.append(f"(void){temp};")
+    return lines
+
+
+def flatten_expr(
+    coords: Dict[str, str], order: Sequence[Tuple[str, int]]
+) -> str:
+    """Mixed-radix flatten of named coordinates, fastest-first.
+
+    ``order`` is a list of ``(index, radix)`` pairs; ``coords`` maps index
+    names to C expressions for the local coordinate.
+    """
+    if not order:
+        return "0"
+    expr = ""
+    scale = 1
+    for index, radix in order:
+        term = coords[index]
+        if scale == 1:
+            expr = term
+        else:
+            expr = f"{expr} + {scale} * ({term})"
+        scale *= radix
+    return expr
+
+
+class TileLoadFragment:
+    """Per-element body of a staged input load, for tile element ``l``.
+
+    Decomposes ``l`` in the tensor's storage order, computes the global
+    address, the bounds predicate, and the staging-buffer address.
+    """
+
+    def __init__(self, plan: KernelPlan, tensor: TensorRef) -> None:
+        self.plan = plan
+        self.tensor = tensor
+        self.side = plan.input_side(tensor)
+
+    def body(self, flat_var: str = "l") -> Tuple[List[str], str, str, str]:
+        """Return (statements, global_addr_expr, bounds_expr, smem_idx).
+
+        The statements declare local coordinates ``lc_<i>`` for every
+        tensor index; the returned expressions reference them.
+        """
+        plan = self.plan
+        tensor = self.tensor
+        axes = plan.tensor_tile_axes(tensor)
+        lines: List[str] = [f"int rem_ = {flat_var};"]
+        coords: Dict[str, str] = {}
+        for i, axis in enumerate(axes):
+            cvar = f"lc_{axis.index}"
+            coords[axis.index] = cvar
+            lines.append(f"const int {cvar} = rem_ % {axis.tile};")
+            if i + 1 < len(axes):
+                lines.append(f"rem_ /= {axis.tile};")
+        lines.append("(void)rem_;")
+
+        block_indices = {a.index for a in plan.block_axes}
+        addr_terms: List[str] = []
+        bound_terms: List[str] = []
+        for axis in axes:
+            if axis.index in block_indices:
+                offset = block_offset_var(axis.index)
+            else:
+                offset = step_offset_var(axis.index)
+            gvar = f"g_{axis.index}"
+            lines.append(f"const int {gvar} = {offset} + {coords[axis.index]};")
+            addr_terms.append(
+                f"(long){gvar} * {stride_var(tensor.name, axis.index)}"
+            )
+            if axis.tile < axis.extent or True:
+                # Bounds checks are always emitted; the compiler removes
+                # them when extents are compile-time known.
+                bound_terms.append(f"({gvar} < {extent_param(axis.index)})")
+        addr = " + ".join(addr_terms) if addr_terms else "0"
+        bounds = " && ".join(bound_terms) if bound_terms else "1"
+
+        smem_idx = self._smem_index_expr(coords)
+        return lines, addr, bounds, smem_idx
+
+    def _smem_index_expr(self, coords: Dict[str, str]) -> str:
+        """Staging-buffer flat index ``int_flat * EXT + ext_flat``."""
+        plan = self.plan
+        ext_order = [
+            (index, plan.tile_of(index))
+            for index in plan.smem_ext_order(self.side)
+        ]
+        int_order = [
+            (m.index, m.tile) for m in plan.config.by_dim(Dim.TB_K)
+        ]
+        # GRID-mapped externals of this tensor have tile 1 => coord "0";
+        # they do not participate in the staging layout.
+        ext_coords = {idx: coords.get(idx, "0") for idx, _ in ext_order}
+        int_coords = {idx: coords.get(idx, "0") for idx, _ in int_order}
+        ext_flat = flatten_expr(ext_coords, ext_order)
+        int_flat = flatten_expr(int_coords, int_order)
+        ext_size = (
+            plan.config.block_tile_x
+            if self.side == "x"
+            else plan.config.block_tile_y
+        )
+        if int_flat == "0":
+            return f"({ext_flat})"
+        return f"({int_flat}) * {ext_size} + ({ext_flat})"
+
+
+class StoreFragment:
+    """Per-register-element output store addressing."""
+
+    def __init__(self, plan: KernelPlan) -> None:
+        self.plan = plan
+
+    def thread_coord_decls(
+        self, tx_var: str = "tx_", ty_var: str = "ty_"
+    ) -> Tuple[List[str], Dict[str, str]]:
+        """Declare per-index coordinates carried by thread x/y position."""
+        plan = self.plan
+        lines: List[str] = []
+        coords: Dict[str, str] = {}
+        for source, entries in (
+            (tx_var, plan.config.by_dim(Dim.TB_X)),
+            (ty_var, plan.config.by_dim(Dim.TB_Y)),
+        ):
+            rem = f"rem{source}"
+            lines.append(f"int {rem} = {source};")
+            for i, m in enumerate(entries):
+                cvar = f"tc_{m.index}"
+                coords[m.index] = cvar
+                lines.append(f"const int {cvar} = {rem} % {m.tile};")
+                if i + 1 < len(entries):
+                    lines.append(f"{rem} /= {m.tile};")
+            lines.append(f"(void){rem};")
+        return lines, coords
+
+    def reg_coord_decls(
+        self, rx_var: str, ry_var: str
+    ) -> Tuple[List[str], Dict[str, str]]:
+        """Declare per-index coordinates carried by register position."""
+        plan = self.plan
+        lines: List[str] = []
+        coords: Dict[str, str] = {}
+        for source, entries in (
+            (rx_var, plan.config.by_dim(Dim.REG_X)),
+            (ry_var, plan.config.by_dim(Dim.REG_Y)),
+        ):
+            rem = f"rem{source}"
+            lines.append(f"int {rem} = {source};")
+            for i, m in enumerate(entries):
+                cvar = f"rc_{m.index}"
+                coords[m.index] = cvar
+                lines.append(f"const int {cvar} = {rem} % {m.tile};")
+                if i + 1 < len(entries):
+                    lines.append(f"{rem} /= {m.tile};")
+            lines.append(f"(void){rem};")
+        return lines, coords
+
+    def address_and_bounds(
+        self, coords: Dict[str, str]
+    ) -> Tuple[List[str], str, str]:
+        """Global C address + bounds from combined coordinates."""
+        plan = self.plan
+        c = plan.contraction.c
+        lines: List[str] = []
+        addr_terms: List[str] = []
+        bound_terms: List[str] = []
+        for index in c.indices:
+            local = coords.get(index, "0")
+            gvar = f"gc_{index}"
+            lines.append(
+                f"const int {gvar} = {block_offset_var(index)} + {local};"
+            )
+            addr_terms.append(
+                f"(long){gvar} * {stride_var(c.name, index)}"
+            )
+            bound_terms.append(f"({gvar} < {extent_param(index)})")
+        addr = " + ".join(addr_terms) if addr_terms else "0"
+        bounds = " && ".join(bound_terms) if bound_terms else "1"
+        return lines, addr, bounds
+
+
+def indent(lines: Sequence[str], level: int) -> List[str]:
+    pad = "    " * level
+    return [pad + line if line else line for line in lines]

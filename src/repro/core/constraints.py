@@ -1,0 +1,203 @@
+"""Hardware and performance pruning rules (paper Section IV-A).
+
+Configurations are checked against two rule families:
+
+* **Hardware constraints** — the block must be runnable at all: shared
+  memory for the two staging buffers within the per-block capacity,
+  per-thread registers within the ISA limit, threads within the block
+  limit.  Violations are always fatal.
+* **Performance constraints** — rules the paper uses to discard
+  configurations expected to perform poorly: the output's FVI must lead
+  ``TB_x`` (store coalescing), each input's FVI must carry a reasonably
+  large tile (load coalescing), enough thread blocks must be launched to
+  keep the SMs busy, and achievable occupancy must clear a floor.
+  Violations are fatal during normal search, but the generator may relax
+  them when nothing survives (tiny problem sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..gpu.arch import GpuArch
+from ..gpu.occupancy import compute_occupancy
+from .ir import Contraction
+from .mapping import Dim, KernelConfig
+from .plan import KernelPlan
+
+
+@dataclass(frozen=True)
+class ConstraintPolicy:
+    """Tunable thresholds for the performance constraints."""
+
+    #: Minimum thread blocks, as a multiple of the SM count.
+    min_blocks_per_sm: float = 1.0
+    #: Minimum achievable occupancy fraction.  Register-tiled DP kernels
+    #: run well below 25% occupancy (one 256-thread block per SM), so the
+    #: floor only rejects configurations that cannot hide any latency.
+    min_occupancy: float = 0.12
+    #: Minimum tile size on each input tensor's FVI (coalescing).
+    min_fvi_tile: int = 4
+    #: Minimum threads per block (at least a warp, ideally more).
+    min_threads: int = 32
+    #: Maximum serial steps blow-up guard (0 disables the rule).
+    max_steps: int = 0
+
+
+@dataclass
+class ConstraintReport:
+    """Outcome of checking one configuration."""
+
+    hardware_violations: List[str] = field(default_factory=list)
+    performance_violations: List[str] = field(default_factory=list)
+
+    @property
+    def feasible(self) -> bool:
+        """Runnable at all (hardware-clean)."""
+        return not self.hardware_violations
+
+    @property
+    def accepted(self) -> bool:
+        """Passes both rule families."""
+        return not self.hardware_violations and not self.performance_violations
+
+
+class ConstraintChecker:
+    """Applies the paper's pruning rules for a target architecture."""
+
+    def __init__(
+        self,
+        arch: GpuArch,
+        dtype_bytes: int = 8,
+        policy: Optional[ConstraintPolicy] = None,
+    ) -> None:
+        self.arch = arch
+        self.dtype_bytes = dtype_bytes
+        self.policy = policy or ConstraintPolicy()
+
+    # -- public API ------------------------------------------------------
+
+    def check(self, plan: KernelPlan) -> ConstraintReport:
+        """Evaluate all rules for ``plan``."""
+        report = ConstraintReport()
+        self._check_hardware(plan, report)
+        if report.feasible:
+            self._check_performance(plan, report)
+        return report
+
+    def check_config(
+        self, contraction: Contraction, config: KernelConfig
+    ) -> ConstraintReport:
+        plan = KernelPlan(contraction, config, self.dtype_bytes)
+        return self.check(plan)
+
+    # -- hardware rules -----------------------------------------------------
+
+    def _check_hardware(self, plan: KernelPlan, report: ConstraintReport) -> None:
+        arch = self.arch
+        out = report.hardware_violations
+        if plan.smem_bytes > arch.shared_mem_per_block:
+            out.append(
+                f"shared memory {plan.smem_bytes} B exceeds per-block "
+                f"capacity {arch.shared_mem_per_block} B"
+            )
+        regs = plan.config.registers_per_thread(self.dtype_bytes)
+        if regs > arch.max_registers_per_thread:
+            out.append(
+                f"{regs} registers/thread exceeds limit "
+                f"{arch.max_registers_per_thread}"
+            )
+        threads = plan.threads_per_block
+        if threads > arch.max_threads_per_block:
+            out.append(
+                f"{threads} threads/block exceeds limit "
+                f"{arch.max_threads_per_block}"
+            )
+        if threads < 1:
+            out.append("empty thread block")
+
+    # -- performance rules ----------------------------------------------------
+
+    def _check_performance(
+        self, plan: KernelPlan, report: ConstraintReport
+    ) -> None:
+        policy = self.policy
+        out = report.performance_violations
+        contraction = plan.contraction
+        config = plan.config
+
+        # Store coalescing: the output FVI must lead TB_x.
+        tb_x = config.indices_on(Dim.TB_X)
+        if not tb_x or tb_x[0] != contraction.c.fvi:
+            out.append(
+                f"output FVI {contraction.c.fvi!r} must be the leading "
+                "TBx index for coalesced stores"
+            )
+
+        # Load coalescing: each input's FVI needs a sizeable tile.
+        for tensor in (contraction.a, contraction.b):
+            fvi = tensor.fvi
+            tile = config.tile(fvi)
+            floor = min(policy.min_fvi_tile, contraction.extent(fvi))
+            if tile < floor:
+                out.append(
+                    f"tile {tile} on {tensor.name}'s FVI {fvi!r} is below "
+                    f"the coalescing floor {floor}"
+                )
+
+        # Parallelism: enough blocks to avoid starving SMs.
+        min_blocks = int(policy.min_blocks_per_sm * self.arch.num_sms)
+        max_possible = self._max_possible_blocks(contraction)
+        required = min(min_blocks, max_possible)
+        if plan.num_blocks < required:
+            out.append(
+                f"{plan.num_blocks} thread blocks is below the load-balance "
+                f"threshold {required}"
+            )
+
+        if plan.threads_per_block < min(
+            policy.min_threads, self._max_possible_threads(contraction)
+        ):
+            out.append(
+                f"{plan.threads_per_block} threads/block is below "
+                f"{policy.min_threads}"
+            )
+
+        occ = compute_occupancy(
+            self.arch,
+            plan.threads_per_block,
+            plan.smem_bytes,
+            config.registers_per_thread(self.dtype_bytes),
+        )
+        if occ.fraction < policy.min_occupancy:
+            out.append(
+                f"occupancy {occ.fraction:.2f} below floor "
+                f"{policy.min_occupancy:.2f} (limited by {occ.limiter})"
+            )
+
+        if policy.max_steps and plan.num_steps > policy.max_steps:
+            out.append(
+                f"{plan.num_steps} serial steps exceeds guard "
+                f"{policy.max_steps}"
+            )
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _max_possible_blocks(contraction: Contraction) -> int:
+        """Upper bound on launchable blocks (all external tiles = 1)."""
+        total = 1
+        for idx in contraction.external_indices:
+            total *= contraction.extent(idx)
+        return total
+
+    @staticmethod
+    def _max_possible_threads(contraction: Contraction) -> int:
+        """Upper bound on threads per block for this problem size."""
+        x_ext = contraction.externals_of(contraction.x_input)
+        y_ext = contraction.externals_of(contraction.y_input)
+        total = 1
+        for idx in (*x_ext, *y_ext):
+            total *= contraction.extent(idx)
+        return total

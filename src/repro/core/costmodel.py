@@ -1,0 +1,204 @@
+"""Analytical DRAM transaction cost model (paper Algorithm 3, Section IV-B).
+
+The model estimates the number of 128-byte global-memory transactions a
+configuration incurs: loads of both input tiles on every serial step of
+every thread block, plus one store of the output tile per thread block.
+
+The key quantity is the *contiguous run*: how many elements of a tensor's
+staged tile are contiguous in global memory.  Walking the tensor's indices
+from the FVI, tiles equal to the full extent keep the run going; the first
+partial tile ends it.  A row of ``TB`` threads loading along the FVI then
+needs ``ceil(TB / run) * ceil(run_bytes / 128)`` transactions.
+
+As in the paper, the model deliberately ignores occupancy, caches and
+compute throughput — it is a *ranking* device, validated against the
+address-trace transaction counter in :mod:`repro.gpu.memory` and the
+performance simulator in :mod:`repro.gpu.simulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .ir import Contraction, TensorRef
+from .mapping import KernelConfig
+from .plan import KernelPlan, ceil_div
+
+TRANSACTION_BYTES = 128
+
+
+@dataclass(frozen=True)
+class TransactionEstimate:
+    """Estimated global-memory transactions for one configuration."""
+
+    load_a: int
+    load_b: int
+    store_c: int
+    transaction_bytes: int = TRANSACTION_BYTES
+
+    @property
+    def total(self) -> int:
+        return self.load_a + self.load_b + self.store_c
+
+    @property
+    def bytes(self) -> int:
+        return self.total * self.transaction_bytes
+
+    def __str__(self) -> str:
+        return (
+            f"A={self.load_a} B={self.load_b} C={self.store_c} "
+            f"total={self.total} ({self.bytes / 1e6:.2f} MB)"
+        )
+
+
+def contiguous_run(plan: KernelPlan, tensor: TensorRef) -> int:
+    """Contiguous elements of ``tensor``'s staged tile in global memory.
+
+    Implements the paper's ``cal_Cont``: the product of tile sizes over
+    the leading indices whose tiles cover the full extent, times the tile
+    of the first partial index.
+    """
+    run = 1
+    for axis in plan.tensor_tile_axes(tensor):
+        run *= axis.tile
+        if axis.tile < axis.extent:
+            break
+    return run
+
+
+def row_transactions(
+    row_elements: int, run: int, dtype_bytes: int,
+    transaction_bytes: int = TRANSACTION_BYTES,
+) -> int:
+    """Transactions for one row of threads reading along a tensor's FVI.
+
+    ``row_elements`` elements are read in contiguous segments of at most
+    ``run`` elements; each segment costs ``ceil(segment_bytes / 128)``
+    aligned transactions.
+    """
+    if row_elements <= 0:
+        return 0
+    seg = max(1, min(run, row_elements))
+    n_segments = ceil_div(row_elements, seg)
+    per_segment = ceil_div(seg * dtype_bytes, transaction_bytes)
+    return n_segments * per_segment
+
+
+def row_transactions_paper(row_elements: int, run: int) -> int:
+    """Algorithm 3's published formula, verbatim.
+
+    The paper counts ``size_TBx / min(size_Cont, size_TBx)``
+    transactions per row — segments only, without the 128-byte
+    granularity refinement :func:`row_transactions` adds (so a 32-wide
+    double row counts 1 rather than 2).  Kept for fidelity comparisons;
+    both formulas rank configurations identically in the common case of
+    power-of-two tiles (see tests).
+    """
+    if row_elements <= 0:
+        return 0
+    seg = max(1, min(run, row_elements))
+    return ceil_div(row_elements, seg)
+
+
+class CostModel:
+    """DRAM data-movement cost of kernel configurations."""
+
+    def __init__(self, dtype_bytes: int = 8,
+                 transaction_bytes: int = TRANSACTION_BYTES) -> None:
+        self.dtype_bytes = dtype_bytes
+        self.transaction_bytes = transaction_bytes
+
+    # -- per-tensor estimates (Algorithm 3) --------------------------------
+
+    def input_load_transactions(
+        self, plan: KernelPlan, tensor: TensorRef, clipped: bool = False
+    ) -> int:
+        """Transactions to load ``tensor`` across the whole kernel."""
+        side = plan.input_side(tensor)
+        tb = plan.tb_x if side == "x" else plan.tb_y
+        reg = plan.reg_x if side == "x" else plan.reg_y
+        run = contiguous_run(plan, tensor)
+        per_row = row_transactions(
+            tb, run, self.dtype_bytes, self.transaction_bytes
+        )
+        # Rows per step: the register-tile extent times the TB_k tile
+        # (Algorithm 3 lines 9-10).
+        rows_per_step = reg * plan.tb_k_tile
+        per_step = per_row * rows_per_step
+        total = per_step * plan.num_steps * plan.num_blocks
+        if clipped:
+            total = int(total * self._coverage(plan, tensor))
+        return total
+
+    def output_store_transactions(
+        self, plan: KernelPlan, clipped: bool = False
+    ) -> int:
+        """Transactions to store the output tile of every thread block."""
+        run = contiguous_run(plan, plan.contraction.c)
+        per_row = row_transactions(
+            plan.tb_x, run, self.dtype_bytes, self.transaction_bytes
+        )
+        rows = plan.reg_x * plan.tb_y * plan.reg_y
+        total = per_row * rows * plan.num_blocks
+        if clipped:
+            total = int(total * self._coverage(plan, plan.contraction.c))
+        return total
+
+    @staticmethod
+    def _coverage(plan: KernelPlan, tensor: TensorRef) -> float:
+        """Fraction of tile rows that are in bounds.
+
+        The paper's model charges every block a full tile even when
+        tiles do not divide extents; on hardware the bounds predicate
+        suppresses out-of-range rows entirely.  Rows along the tensor's
+        FVI are excluded: a partially covered segment still issues its
+        transactions.
+        """
+        factor = 1.0
+        for axis in plan.tensor_tile_axes(tensor)[1:]:
+            factor *= axis.extent / (axis.num_tiles * axis.tile)
+        return factor
+
+    # -- whole-kernel estimate -----------------------------------------------
+
+    def estimate(
+        self, plan: KernelPlan, clipped: bool = False
+    ) -> TransactionEstimate:
+        """Transaction estimate for ``plan``.
+
+        ``clipped=False`` is Algorithm 3 as published (used for
+        ranking); ``clipped=True`` additionally discounts predicated-off
+        out-of-bounds rows and is what the performance simulator
+        charges.
+        """
+        return TransactionEstimate(
+            load_a=self.input_load_transactions(
+                plan, plan.contraction.a, clipped
+            ),
+            load_b=self.input_load_transactions(
+                plan, plan.contraction.b, clipped
+            ),
+            store_c=self.output_store_transactions(plan, clipped),
+            transaction_bytes=self.transaction_bytes,
+        )
+
+    def cost(self, plan: KernelPlan) -> int:
+        """Scalar cost used for ranking (total transactions)."""
+        return self.estimate(plan).total
+
+    # -- ranking --------------------------------------------------------------
+
+    def rank(
+        self,
+        contraction: Contraction,
+        configs: Sequence[KernelConfig],
+    ) -> List[Tuple[KernelConfig, int]]:
+        """Sort configurations by ascending estimated transaction count."""
+        scored = [
+            (config, self.cost(KernelPlan(contraction, config,
+                                          self.dtype_bytes)))
+            for config in configs
+        ]
+        scored.sort(key=lambda pair: (pair[1], str(pair[0])))
+        return scored

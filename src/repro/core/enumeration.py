@@ -1,0 +1,312 @@
+"""Configuration enumeration with pruning (paper Algorithm 2, Section IV-A).
+
+The search space is built from three families of *partial configurations*:
+
+* ``(TB_x, REG_x)`` choices drawn from the external indices of the input
+  holding the output's FVI (the x-side input),
+* ``(TB_y, REG_y)`` choices drawn from the other input's external indices,
+* ``TB_k`` tilings of the internal (contraction) indices.
+
+Each family is enumerated by walking the tensor's indices fastest-first
+from every rotation start (the paper's ``s_idx`` loop), greedily
+accumulating full index extents until a target dimension size
+(``TB_size`` in {4, 8, 16}, ``REG_size`` in {2, 4, 6, 8}) is reached; the
+last index is given the largest tile that fits.  Full configurations are
+the Cartesian product of the three families, with leftover external
+indices mapped to the grid; they are then pruned by the hardware and
+performance constraints of :mod:`repro.core.constraints`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..gpu.arch import GpuArch
+from .constraints import ConstraintChecker, ConstraintPolicy
+from .ir import Contraction, IndexKind
+from .mapping import KernelConfig, config_from_spec
+
+Entry = Tuple[str, int]  # (index name, tile size)
+
+#: Paper defaults (Section IV-A.3): thread-block dimension size targets.
+DEFAULT_TB_SIZES: Tuple[int, ...] = (4, 8, 16)
+#: Paper defaults: register-tile dimension size targets.
+DEFAULT_REG_SIZES: Tuple[int, ...] = (2, 4, 6, 8)
+#: Contraction-tile (TB_k) size targets.
+DEFAULT_TBK_SIZES: Tuple[int, ...] = (4, 8, 16)
+
+
+def paper_search_space(
+    contraction: Contraction,
+    n_tile_choices: int = 6,
+) -> int:
+    """Size of the naive search space (paper Section IV).
+
+    The paper counts ``|mapping| * |tilesize|`` with four dimension
+    choices per external index, two placement orders per additional
+    internal index, and six tile-size choices per index — 3,981,312 for
+    Eq. 1.  The enumerator never materialises this space; the pruning
+    statistic is reported against it.
+    """
+    n_ext = len(contraction.external_indices)
+    n_int = len(contraction.internal_indices)
+    n_all = n_ext + n_int
+    mapping = (4 ** n_ext) * (2 ** max(n_int - 1, 0))
+    return mapping * (n_tile_choices ** n_all)
+
+
+@dataclass(frozen=True)
+class SidePartial:
+    """A partial configuration for one side: TB entries + REG entries."""
+
+    tb: Tuple[Entry, ...]
+    reg: Tuple[Entry, ...]
+
+
+@dataclass
+class EnumerationStats:
+    """Bookkeeping for the pruning claims (paper: ~97% pruned)."""
+
+    raw_combinations: int = 0
+    hardware_pruned: int = 0
+    performance_pruned: int = 0
+    duplicates: int = 0
+    accepted: int = 0
+
+    @property
+    def pruned_fraction(self) -> float:
+        if self.raw_combinations == 0:
+            return 0.0
+        return 1.0 - self.accepted / self.raw_combinations
+
+
+@dataclass
+class EnumerationResult:
+    """Accepted configurations plus pruning statistics."""
+
+    configs: List[KernelConfig]
+    stats: EnumerationStats
+    #: Configurations that were hardware-clean but perf-pruned; used as a
+    #: fallback when the performance rules are too strict for a problem.
+    feasible_rejects: List[KernelConfig] = field(default_factory=list)
+
+
+def _rotations(items: Sequence[str]) -> Iterable[Sequence[str]]:
+    if not items:
+        yield ()
+        return
+    for start in range(len(items)):
+        yield tuple(items[start:]) + tuple(items[:start])
+
+
+def _greedy_fill(
+    order: Sequence[str],
+    extents: Dict[str, int],
+    target: int,
+    prev: int = 1,
+) -> Tuple[Tuple[Entry, ...], bool]:
+    """Accumulate indices along ``order`` until ``prev * tiles >= target``.
+
+    Mirrors Algorithm 2's inner loop: indices before the threshold get
+    their full extent as tile size; the index that crosses it gets the
+    largest tile keeping the product at ``target`` (integer division).
+    Returns the entries and whether the target was reached.
+    """
+    entries: List[Entry] = []
+    for name in order:
+        extent = extents[name]
+        if prev * extent >= target:
+            tile = max(1, target // prev)
+            tile = min(tile, extent)
+            entries.append((name, tile))
+            return tuple(entries), True
+        entries.append((name, extent))
+        prev *= extent
+    return tuple(entries), False
+
+
+class Enumerator:
+    """Enumerates pruned kernel configurations for one contraction."""
+
+    def __init__(
+        self,
+        contraction: Contraction,
+        arch: GpuArch,
+        dtype_bytes: int = 8,
+        tb_sizes: Sequence[int] = DEFAULT_TB_SIZES,
+        reg_sizes: Sequence[int] = DEFAULT_REG_SIZES,
+        tbk_sizes: Sequence[int] = DEFAULT_TBK_SIZES,
+        policy: Optional[ConstraintPolicy] = None,
+        max_configs: int = 200_000,
+    ) -> None:
+        self.contraction = contraction
+        self.arch = arch
+        self.dtype_bytes = dtype_bytes
+        self.tb_sizes = tuple(tb_sizes)
+        self.reg_sizes = tuple(reg_sizes)
+        self.tbk_sizes = tuple(tbk_sizes)
+        self.checker = ConstraintChecker(arch, dtype_bytes, policy)
+        self.max_configs = max_configs
+        self._extents = {
+            i: contraction.extent(i) for i in contraction.all_indices
+        }
+
+    # -- partial enumerations -------------------------------------------
+
+    def enumerate_x_side(self) -> List[SidePartial]:
+        """(TB_x, REG_x) partials; TB_x always leads with the output FVI."""
+        contraction = self.contraction
+        x_input = contraction.x_input
+        c_fvi = contraction.c.fvi
+        others = [
+            i for i in x_input.indices
+            if contraction.kind(i) is IndexKind.EXTERNAL and i != c_fvi
+        ]
+        partials: Set[SidePartial] = set()
+        fvi_extent = self._extents[c_fvi]
+        tb_choices: Set[Tuple[Entry, ...]] = set()
+        for tb_size in self.tb_sizes:
+            if fvi_extent >= tb_size:
+                tb_choices.add(((c_fvi, min(tb_size, fvi_extent)),))
+                continue
+            for order in _rotations(others):
+                entries, ok = _greedy_fill(
+                    order, self._extents, tb_size, prev=fvi_extent
+                )
+                if ok:
+                    tb_choices.add(((c_fvi, fvi_extent),) + entries)
+        if not tb_choices:
+            # Tiny problem: take everything at full extent.
+            full = tuple(
+                (i, self._extents[i]) for i in (c_fvi, *others)
+            )
+            tb_choices.add(full)
+        for tb in tb_choices:
+            mapped = {name for name, _ in tb}
+            remaining = [i for i in others if i not in mapped]
+            for reg in self._enumerate_reg(remaining):
+                partials.add(SidePartial(tb, reg))
+        return sorted(partials, key=str)
+
+    def enumerate_y_side(self) -> List[SidePartial]:
+        """(TB_y, REG_y) partials from the y-side input's externals."""
+        contraction = self.contraction
+        y_input = contraction.y_input
+        externals = [
+            i for i in y_input.indices
+            if contraction.kind(i) is IndexKind.EXTERNAL
+        ]
+        partials: Set[SidePartial] = set()
+        if not externals:
+            return [SidePartial((), ())]
+        tb_choices: Set[Tuple[Entry, ...]] = set()
+        for tb_size in self.tb_sizes:
+            for order in _rotations(externals):
+                entries, ok = _greedy_fill(order, self._extents, tb_size)
+                if ok:
+                    tb_choices.add(entries)
+        if not tb_choices:
+            tb_choices.add(
+                tuple((i, self._extents[i]) for i in externals)
+            )
+        for tb in tb_choices:
+            mapped = {name for name, _ in tb}
+            remaining = [i for i in externals if i not in mapped]
+            for reg in self._enumerate_reg(remaining):
+                partials.add(SidePartial(tb, reg))
+        return sorted(partials, key=str)
+
+    def _enumerate_reg(self, remaining: Sequence[str]) -> List[Tuple[Entry, ...]]:
+        """Register-tile choices over the unmapped external indices."""
+        choices: Set[Tuple[Entry, ...]] = {()}
+        if not remaining:
+            return [()]
+        for reg_size in self.reg_sizes:
+            for order in _rotations(remaining):
+                entries, ok = _greedy_fill(order, self._extents, reg_size)
+                if ok:
+                    choices.add(entries)
+        return sorted(choices, key=str)
+
+    def enumerate_tb_k(self) -> List[Tuple[Entry, ...]]:
+        """Tilings of the internal indices for the serial TB_k loop."""
+        contraction = self.contraction
+        internals = list(contraction.internal_indices)
+        if not internals:
+            return [()]
+        # Walk internals in the storage order of the input whose FVI is an
+        # internal index, if any — its leading tile drives load coalescing.
+        for tensor in (contraction.b, contraction.a):
+            if contraction.kind(tensor.fvi) is IndexKind.INTERNAL:
+                internals = [
+                    i for i in tensor.indices
+                    if contraction.kind(i) is IndexKind.INTERNAL
+                ]
+                break
+        choices: Set[Tuple[Entry, ...]] = set()
+        for tbk_size in self.tbk_sizes:
+            for order in _rotations(internals):
+                entries, ok = _greedy_fill(order, self._extents, tbk_size)
+                if ok:
+                    # Unmentioned internals get tile 1 at combine time.
+                    choices.add(entries)
+        if not choices:
+            choices.add(tuple((i, self._extents[i]) for i in internals))
+        return sorted(choices, key=str)
+
+    # -- combination + pruning ---------------------------------------------
+
+    def enumerate(self) -> EnumerationResult:
+        """Full enumeration: combine partials, prune, deduplicate."""
+        contraction = self.contraction
+        x_partials = self.enumerate_x_side()
+        y_partials = self.enumerate_y_side()
+        k_partials = self.enumerate_tb_k()
+
+        stats = EnumerationStats()
+        seen: Set[Tuple] = set()
+        accepted: List[KernelConfig] = []
+        feasible_rejects: List[KernelConfig] = []
+
+        for xp, yp, kp in itertools.product(x_partials, y_partials, k_partials):
+            stats.raw_combinations += 1
+            if stats.raw_combinations > self.max_configs:
+                break
+            key = (xp.tb, xp.reg, yp.tb, yp.reg, kp)
+            if key in seen:
+                stats.duplicates += 1
+                continue
+            seen.add(key)
+            config = config_from_spec(
+                contraction,
+                tb_x=xp.tb,
+                tb_y=yp.tb,
+                reg_x=xp.reg,
+                reg_y=yp.reg,
+                tb_k=kp,
+                fill_defaults=True,
+            )
+            report = self.checker.check_config(contraction, config)
+            if not report.feasible:
+                stats.hardware_pruned += 1
+                continue
+            if not report.accepted:
+                stats.performance_pruned += 1
+                feasible_rejects.append(config)
+                continue
+            stats.accepted += 1
+            accepted.append(config)
+
+        return EnumerationResult(accepted, stats, feasible_rejects)
+
+
+def enumerate_configs(
+    contraction: Contraction,
+    arch: GpuArch,
+    dtype_bytes: int = 8,
+    **kwargs,
+) -> EnumerationResult:
+    """Convenience wrapper around :class:`Enumerator`."""
+    return Enumerator(contraction, arch, dtype_bytes, **kwargs).enumerate()

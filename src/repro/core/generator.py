@@ -1,0 +1,332 @@
+"""COGENT: the model-driven code generator facade.
+
+Pipeline (paper Sections III-IV): parse the contraction, enumerate
+mapping/tile-size configurations with hardware and performance pruning
+(Algorithm 2), rank the survivors with the DRAM-transaction cost model
+(Algorithm 3), optionally micro-benchmark the top-k candidates on the
+performance simulator (standing in for running them on the GPU), and
+emit CUDA for the winner.
+
+>>> from repro import Cogent
+>>> gen = Cogent(arch="V100")
+>>> kernel = gen.generate("abcd-aebf-dfce", sizes=24)
+>>> print(kernel.cuda_source)      # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..gpu.arch import GpuArch, get_arch
+from ..gpu.simulator import GpuSimulator, ModelParams, SimulationResult
+from .codegen.cemu import generate_c_emulation
+from .codegen.cuda import generate_cuda_kernel
+from .codegen.driver import generate_cuda_driver
+from .constraints import ConstraintPolicy
+from .costmodel import CostModel, TransactionEstimate
+from .enumeration import (
+    DEFAULT_REG_SIZES,
+    DEFAULT_TB_SIZES,
+    DEFAULT_TBK_SIZES,
+    EnumerationResult,
+    Enumerator,
+)
+from .ir import Contraction
+from .mapping import KernelConfig
+from .merging import MergeSpec, merge_operands, normalize, unmerge_output
+from .parser import SizesArg, parse
+from .plan import KernelPlan
+from .splitting import (
+    SplitSpec,
+    adapt_operands,
+    candidate_splits,
+    restore_output,
+)
+
+
+@dataclass
+class CandidateScore:
+    """One pruned configuration with its model cost and (optionally) its
+    micro-benchmarked performance."""
+
+    config: KernelConfig
+    cost: int
+    simulated: Optional[SimulationResult] = None
+
+
+@dataclass
+class GeneratedKernel:
+    """Everything COGENT produces for one contraction.
+
+    ``contraction`` is the contraction the kernel was generated for; it
+    differs from ``original_contraction`` only when the dimension-
+    splitting extension rewrote an index.  Split kernels remain
+    bit-compatible with the original tensors in memory (see
+    :mod:`repro.core.splitting`).
+    """
+
+    contraction: Contraction
+    plan: KernelPlan
+    candidates: List[CandidateScore]
+    enumeration: EnumerationResult
+    selection_mode: str
+    generation_time_s: float
+    kernel_name: str = "tc_kernel"
+    original_contraction: Optional[Contraction] = None
+    split_specs: Tuple[SplitSpec, ...] = ()
+    merge_specs: Tuple[MergeSpec, ...] = ()
+    #: The contraction after merging but before splitting (equals
+    #: ``original_contraction`` when no merge was applied).
+    merged_contraction: Optional[Contraction] = None
+    _cuda_source: Optional[str] = field(default=None, repr=False)
+
+    @property
+    def config(self) -> KernelConfig:
+        return self.plan.config
+
+    @property
+    def cost(self) -> int:
+        return self.candidates[0].cost
+
+    @property
+    def cuda_source(self) -> str:
+        """The generated CUDA kernel source (lazily emitted, cached)."""
+        if self._cuda_source is None:
+            self._cuda_source = generate_cuda_kernel(
+                self.plan, self.kernel_name
+            )
+        return self._cuda_source
+
+    def cuda_driver_source(self) -> str:
+        """A standalone ``.cu`` with kernel + timing host driver."""
+        return generate_cuda_driver(self.plan, self.kernel_name)
+
+    def c_emulation_source(self) -> str:
+        """A standalone C program emulating the kernel on the CPU."""
+        return generate_c_emulation(self.plan, self.kernel_name + "_emu")
+
+    def opencl_source(self) -> str:
+        """The kernel emitted as OpenCL C (paper's planned future
+        backend)."""
+        from .codegen.opencl import generate_opencl_kernel
+
+        return generate_opencl_kernel(self.plan, self.kernel_name)
+
+    def execute(self, a, b):
+        """Run the kernel's schedule numerically on original-shape
+        operands, transparently handling merge/split rewrites.
+
+        This is the validation path (numpy); the CUDA/C sources run the
+        same schedule.
+        """
+        from ..gpu.executor import execute_plan
+
+        if self.merge_specs:
+            a, b = merge_operands(
+                self.original_contraction, self.merge_specs, a, b
+            )
+        if self.split_specs:
+            base = self.merged_contraction or self.original_contraction \
+                or self.contraction
+            a, b = adapt_operands(base, self.split_specs, a, b)
+        out = execute_plan(self.plan, a, b)
+        if self.split_specs:
+            out = restore_output(self.contraction, self.split_specs, out)
+        if self.merge_specs:
+            merged = self.merged_contraction
+            out = unmerge_output(merged, self.merge_specs, out)
+        return out
+
+    def summary(self) -> str:
+        stats = self.enumeration.stats
+        lines = [
+            self.plan.summary(),
+        ]
+        if self.split_specs:
+            splits = "; ".join(str(s) for s in self.split_specs)
+            lines.append(f"splits      : {splits}")
+        lines += [
+            f"search      : {stats.raw_combinations} raw, "
+            f"{stats.accepted} accepted "
+            f"({stats.pruned_fraction * 100:.1f}% pruned), "
+            f"selected by {self.selection_mode}",
+            f"model cost  : {self.cost} DRAM transactions",
+            f"gen time    : {self.generation_time_s * 1e3:.1f} ms",
+        ]
+        if self.candidates[0].simulated is not None:
+            lines.append(f"predicted   : {self.candidates[0].simulated}")
+        return "\n".join(lines)
+
+
+class Cogent:
+    """Model-driven GPU code generator for arbitrary tensor contractions.
+
+    Parameters
+    ----------
+    arch:
+        Target GPU, by name (``"P100"``/``"V100"``) or as a
+        :class:`~repro.gpu.arch.GpuArch`.
+    dtype_bytes:
+        8 for double precision (paper default), 4 for single.
+    top_k:
+        Number of top model-ranked candidates to micro-benchmark on the
+        performance simulator.  ``top_k=1`` selects purely by the cost
+        model (the paper's primary mode).
+    """
+
+    def __init__(
+        self,
+        arch: Union[str, GpuArch] = "V100",
+        dtype_bytes: int = 8,
+        top_k: int = 64,
+        tb_sizes: Sequence[int] = DEFAULT_TB_SIZES,
+        reg_sizes: Sequence[int] = DEFAULT_REG_SIZES,
+        tbk_sizes: Sequence[int] = DEFAULT_TBK_SIZES,
+        policy: Optional[ConstraintPolicy] = None,
+        sim_params: Optional[ModelParams] = None,
+        allow_split: bool = True,
+        split_factors: Sequence[int] = (4, 8, 16),
+        allow_merge: bool = False,
+    ) -> None:
+        self.arch = get_arch(arch) if isinstance(arch, str) else arch
+        self.dtype_bytes = dtype_bytes
+        self.top_k = max(1, top_k)
+        self.tb_sizes = tuple(tb_sizes)
+        self.reg_sizes = tuple(reg_sizes)
+        self.tbk_sizes = tuple(tbk_sizes)
+        self.policy = policy
+        self.cost_model = CostModel(dtype_bytes, self.arch.transaction_bytes)
+        self.simulator = GpuSimulator(self.arch, sim_params)
+        #: Dimension-splitting extension (paper Section IV): consider
+        #: rewriting an index into a (fast, slow) pair when one side of
+        #: the contraction has too few external indices.
+        self.allow_split = allow_split
+        self.split_factors = tuple(split_factors)
+        #: Index-merging extension (paper Section IV): fuse adjacent
+        #: small dimensions before searching.  Off by default to keep
+        #: the search space identical to the paper's.
+        self.allow_merge = allow_merge
+
+    # -- public API -----------------------------------------------------
+
+    def generate(
+        self,
+        contraction: Union[str, Contraction],
+        sizes: SizesArg = None,
+        kernel_name: str = "tc_kernel",
+    ) -> GeneratedKernel:
+        """Generate the best kernel for ``contraction``.
+
+        ``contraction`` may be an expression string in any syntax
+        accepted by :func:`repro.core.parser.parse`, or an already-built
+        :class:`Contraction` (in which case ``sizes`` is ignored).
+        """
+        start = time.perf_counter()
+        if isinstance(contraction, str):
+            contraction = parse(contraction, sizes)
+        original = contraction
+
+        merge_specs: Tuple[MergeSpec, ...] = ()
+        if self.allow_merge:
+            contraction, merges = normalize(contraction)
+            merge_specs = tuple(merges)
+        merged_contraction = contraction
+
+        variants: List[Tuple[Contraction, Tuple[SplitSpec, ...]]] = [
+            (contraction, ())
+        ]
+        if self.allow_split:
+            variants += [
+                (split, (spec,))
+                for split, spec in candidate_splits(
+                    contraction, self.split_factors
+                )
+            ]
+
+        best: Optional[GeneratedKernel] = None
+        for variant, specs in variants:
+            enumeration = self._enumerate(variant)
+            candidates, mode = self._select(variant, enumeration)
+            plan = KernelPlan(variant, candidates[0].config, self.dtype_bytes)
+            if candidates[0].simulated is None:
+                candidates[0].simulated = self.simulator.simulate(plan)
+            kernel = GeneratedKernel(
+                contraction=variant,
+                plan=plan,
+                candidates=candidates,
+                enumeration=enumeration,
+                selection_mode=mode if not specs else mode + "+split",
+                generation_time_s=0.0,
+                kernel_name=kernel_name,
+                original_contraction=original,
+                split_specs=specs,
+                merge_specs=merge_specs,
+                merged_contraction=merged_contraction,
+            )
+            if (
+                best is None
+                or kernel.candidates[0].simulated.time_s
+                < best.candidates[0].simulated.time_s
+            ):
+                best = kernel
+        assert best is not None
+        best.generation_time_s = time.perf_counter() - start
+        return best
+
+    def rank_configs(
+        self, contraction: Contraction
+    ) -> List[Tuple[KernelConfig, int]]:
+        """All pruned configurations ranked by the cost model."""
+        enumeration = self._enumerate(contraction)
+        configs = enumeration.configs or enumeration.feasible_rejects
+        return self.cost_model.rank(contraction, configs)
+
+    def estimate(self, plan: KernelPlan) -> TransactionEstimate:
+        """Cost-model transaction estimate for an arbitrary plan."""
+        return self.cost_model.estimate(plan)
+
+    def predict(self, plan: KernelPlan) -> SimulationResult:
+        """Simulated performance of an arbitrary plan on this GPU."""
+        return self.simulator.simulate(plan)
+
+    # -- pipeline stages ----------------------------------------------------
+
+    def _enumerate(self, contraction: Contraction) -> EnumerationResult:
+        enumerator = Enumerator(
+            contraction,
+            self.arch,
+            self.dtype_bytes,
+            tb_sizes=self.tb_sizes,
+            reg_sizes=self.reg_sizes,
+            tbk_sizes=self.tbk_sizes,
+            policy=self.policy,
+        )
+        return enumerator.enumerate()
+
+    def _select(
+        self,
+        contraction: Contraction,
+        enumeration: EnumerationResult,
+    ) -> Tuple[List[CandidateScore], str]:
+        configs = enumeration.configs
+        if not configs:
+            # Performance rules rejected everything (tiny problems):
+            # fall back to hardware-feasible configurations.
+            configs = enumeration.feasible_rejects
+        if not configs:
+            raise RuntimeError(
+                f"no feasible configuration found for {contraction}"
+            )
+        ranked = self.cost_model.rank(contraction, configs)
+        candidates = [CandidateScore(cfg, cost) for cfg, cost in ranked]
+        if self.top_k == 1 or len(candidates) == 1:
+            return candidates, "cost-model"
+        # Micro-benchmark the top-k on the simulator and re-rank them.
+        head = candidates[: self.top_k]
+        for cand in head:
+            plan = KernelPlan(contraction, cand.config, self.dtype_bytes)
+            cand.simulated = self.simulator.simulate(plan)
+        head.sort(key=lambda cand: cand.simulated.time_s)
+        return head + candidates[self.top_k:], "model+microbench"

@@ -1,0 +1,294 @@
+"""Kernel configurations: mapping of contraction indices to GPU resources.
+
+A :class:`KernelConfig` realises Table II of the paper: every loop index of
+a contraction is mapped to exactly one *dimension* of the execution
+template with a tile size:
+
+* ``TB_X`` / ``TB_Y`` — the two thread-block dimensions (external indices),
+* ``REG_X`` / ``REG_Y`` — the per-thread 2D register tile (external
+  indices),
+* ``TB_K`` — the serial loop over contraction-index tiles (internal
+  indices),
+* ``GRID`` — external indices realised purely by the thread-block grid
+  (equivalently ``TB`` with tile size 1, as the paper notes; we allow any
+  tile size, in which case the block loops serially over the tile).
+
+Within each dimension the mapping order matters: the first index listed is
+the fastest varying in that dimension's linearisation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .ir import Contraction, IndexKind
+
+
+class Dim(Enum):
+    """Execution-template dimensions an index can be mapped to."""
+
+    TB_X = "TBx"
+    TB_Y = "TBy"
+    TB_K = "TBk"
+    REG_X = "REGx"
+    REG_Y = "REGy"
+    GRID = "Blk"
+
+
+#: Dimensions legal for external indices.
+EXTERNAL_DIMS = (Dim.TB_X, Dim.TB_Y, Dim.REG_X, Dim.REG_Y, Dim.GRID)
+#: Dimensions legal for internal (contraction) indices.
+INTERNAL_DIMS = (Dim.TB_K,)
+
+
+class ConfigError(ValueError):
+    """Raised for invalid kernel configurations."""
+
+
+@dataclass(frozen=True)
+class IndexMapping:
+    """One index's placement: dimension and tile size."""
+
+    index: str
+    dim: Dim
+    tile: int
+
+    def __post_init__(self) -> None:
+        if self.tile < 1:
+            raise ConfigError(
+                f"tile size of index {self.index!r} must be >= 1, "
+                f"got {self.tile}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.index}->{self.dim.value}:{self.tile}"
+
+
+def _prod(values: Iterable[int]) -> int:
+    return math.prod(values) if values else 1
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """A complete mapping + tiling choice for one contraction kernel."""
+
+    mappings: Tuple[IndexMapping, ...]
+
+    def __post_init__(self) -> None:
+        seen: Dict[str, IndexMapping] = {}
+        for m in self.mappings:
+            if m.index in seen:
+                raise ConfigError(f"index {m.index!r} mapped more than once")
+            seen[m.index] = m
+
+    # -- lookup ----------------------------------------------------------
+
+    def by_dim(self, dim: Dim) -> Tuple[IndexMapping, ...]:
+        """Mappings placed on ``dim``, in fastest-first order."""
+        return tuple(m for m in self.mappings if m.dim is dim)
+
+    def mapping_of(self, index: str) -> IndexMapping:
+        for m in self.mappings:
+            if m.index == index:
+                return m
+        raise ConfigError(f"index {index!r} is not mapped")
+
+    def tile(self, index: str) -> int:
+        return self.mapping_of(index).tile
+
+    def indices_on(self, dim: Dim) -> Tuple[str, ...]:
+        return tuple(m.index for m in self.by_dim(dim))
+
+    # -- derived geometry --------------------------------------------------
+
+    @property
+    def tb_x_size(self) -> int:
+        """Threads along the thread block's x dimension."""
+        return _prod([m.tile for m in self.by_dim(Dim.TB_X)])
+
+    @property
+    def tb_y_size(self) -> int:
+        """Threads along the thread block's y dimension."""
+        return _prod([m.tile for m in self.by_dim(Dim.TB_Y)])
+
+    @property
+    def reg_x_size(self) -> int:
+        """Register-tile extent along x (elements per thread)."""
+        return _prod([m.tile for m in self.by_dim(Dim.REG_X)])
+
+    @property
+    def reg_y_size(self) -> int:
+        """Register-tile extent along y (elements per thread)."""
+        return _prod([m.tile for m in self.by_dim(Dim.REG_Y)])
+
+    @property
+    def tb_k_tile(self) -> int:
+        """Elements of the contraction-index tile processed per step."""
+        return _prod([m.tile for m in self.by_dim(Dim.TB_K)])
+
+    @property
+    def threads_per_block(self) -> int:
+        return self.tb_x_size * self.tb_y_size
+
+    @property
+    def block_tile_x(self) -> int:
+        """Output-tile extent along x handled by one thread block."""
+        return self.tb_x_size * self.reg_x_size
+
+    @property
+    def block_tile_y(self) -> int:
+        """Output-tile extent along y handled by one thread block."""
+        return self.tb_y_size * self.reg_y_size
+
+    def smem_elements(self) -> int:
+        """Shared-memory elements for the two input staging buffers."""
+        return (self.block_tile_x + self.block_tile_y) * self.tb_k_tile
+
+    def smem_bytes(self, dtype_bytes: int = 8) -> int:
+        return self.smem_elements() * dtype_bytes
+
+    def registers_per_thread(self, dtype_bytes: int = 8) -> int:
+        """Estimated 32-bit registers per thread.
+
+        Accumulators (``REG_x x REG_y``) plus the two staging vectors,
+        plus a fixed allowance for index arithmetic.
+        """
+        words = dtype_bytes // 4
+        data_regs = (
+            self.reg_x_size * self.reg_y_size
+            + self.reg_x_size
+            + self.reg_y_size
+        ) * words
+        address_overhead = 24
+        return data_regs + address_overhead
+
+    # -- per-contraction geometry ------------------------------------------
+
+    def num_tiles(self, index: str, contraction: Contraction) -> int:
+        """Number of tiles covering ``index``'s full extent."""
+        return -(-contraction.extent(index) // self.tile(index))
+
+    def num_thread_blocks(self, contraction: Contraction) -> int:
+        """Total thread blocks launched (product over external indices)."""
+        return _prod(
+            [self.num_tiles(i, contraction)
+             for i in contraction.external_indices]
+        )
+
+    def num_steps(self, contraction: Contraction) -> int:
+        """Serial steps over contraction-index tiles per thread block."""
+        return _prod(
+            [self.num_tiles(i, contraction)
+             for i in contraction.internal_indices]
+        )
+
+    # -- validation -----------------------------------------------------------
+
+    def validate_for(self, contraction: Contraction) -> None:
+        """Check this config is structurally legal for ``contraction``.
+
+        Raises :class:`ConfigError` on any violation.
+        """
+        mapped = {m.index for m in self.mappings}
+        needed = set(contraction.all_indices)
+        if mapped != needed:
+            missing = needed - mapped
+            extra = mapped - needed
+            raise ConfigError(
+                f"mapping covers wrong index set (missing={sorted(missing)}, "
+                f"extra={sorted(extra)})"
+            )
+        x_ext = set(contraction.externals_of(contraction.x_input))
+        y_ext = set(contraction.externals_of(contraction.y_input))
+        for m in self.mappings:
+            kind = contraction.kind(m.index)
+            if kind is IndexKind.INTERNAL and m.dim not in INTERNAL_DIMS:
+                raise ConfigError(
+                    f"internal index {m.index!r} mapped to {m.dim.value}; "
+                    "internal indices must go to TBk"
+                )
+            if kind is IndexKind.EXTERNAL and m.dim not in EXTERNAL_DIMS:
+                raise ConfigError(
+                    f"external index {m.index!r} mapped to {m.dim.value}"
+                )
+            if m.dim in (Dim.TB_X, Dim.REG_X) and m.index not in x_ext:
+                raise ConfigError(
+                    f"index {m.index!r} on {m.dim.value} must be an external "
+                    f"index of the x-side input {contraction.x_input.name!r}"
+                )
+            if m.dim in (Dim.TB_Y, Dim.REG_Y) and m.index not in y_ext:
+                raise ConfigError(
+                    f"index {m.index!r} on {m.dim.value} must be an external "
+                    f"index of the y-side input {contraction.y_input.name!r}"
+                )
+            if m.tile > contraction.extent(m.index):
+                raise ConfigError(
+                    f"tile of {m.index!r} ({m.tile}) exceeds its extent "
+                    f"({contraction.extent(m.index)})"
+                )
+            if m.dim is Dim.GRID and m.tile != 1:
+                # A block computes exactly its thread/register tile; a
+                # grid-mapped index advances one element per block.
+                raise ConfigError(
+                    f"grid-mapped index {m.index!r} must have tile 1, "
+                    f"got {m.tile}"
+                )
+
+    # -- presentation ----------------------------------------------------------
+
+    def describe(self) -> str:
+        """A compact human-readable rendering of the configuration."""
+        parts = []
+        for dim in Dim:
+            ms = self.by_dim(dim)
+            if ms:
+                inner = ", ".join(f"{m.index}:{m.tile}" for m in ms)
+                parts.append(f"{dim.value}=[{inner}]")
+        return " ".join(parts)
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+def config_from_spec(
+    contraction: Contraction,
+    tb_x: Sequence[Tuple[str, int]] = (),
+    tb_y: Sequence[Tuple[str, int]] = (),
+    reg_x: Sequence[Tuple[str, int]] = (),
+    reg_y: Sequence[Tuple[str, int]] = (),
+    tb_k: Sequence[Tuple[str, int]] = (),
+    grid: Sequence[Tuple[str, int]] = (),
+    fill_defaults: bool = True,
+) -> KernelConfig:
+    """Build a config from per-dimension ``(index, tile)`` lists.
+
+    With ``fill_defaults``, any index of the contraction not mentioned is
+    mapped to ``GRID`` with tile 1 (externals) or ``TB_K`` with tile 1
+    (internals), which is always legal.
+    """
+    mappings: List[IndexMapping] = []
+    for dim, pairs in (
+        (Dim.TB_X, tb_x),
+        (Dim.TB_Y, tb_y),
+        (Dim.REG_X, reg_x),
+        (Dim.REG_Y, reg_y),
+        (Dim.TB_K, tb_k),
+        (Dim.GRID, grid),
+    ):
+        for index, tile in pairs:
+            mappings.append(IndexMapping(index, dim, tile))
+    if fill_defaults:
+        mentioned = {m.index for m in mappings}
+        for index in contraction.all_indices:
+            if index in mentioned:
+                continue
+            if contraction.kind(index) is IndexKind.INTERNAL:
+                mappings.append(IndexMapping(index, Dim.TB_K, 1))
+            else:
+                mappings.append(IndexMapping(index, Dim.GRID, 1))
+    config = KernelConfig(tuple(mappings))
+    config.validate_for(contraction)
+    return config

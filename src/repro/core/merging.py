@@ -1,0 +1,193 @@
+"""Index merging: fusing adjacent dimensions (paper Section IV).
+
+The paper notes that *merging dimensions* "helps to achieve coalescing
+if the extent of each dimension is very small".  Two indices ``i`` and
+``j`` can be fused into one virtual index when, in *every* tensor that
+contains them, they appear adjacently with ``i`` immediately before
+``j`` (``i`` faster).  The fused index then has extent ``N_i * N_j``
+and — with the column-major convention — exactly the memory footprint
+of the original pair, so merged kernels are bit-compatible with the
+original tensors (merging is the inverse of
+:mod:`repro.core.splitting`).
+
+Merging strictly shrinks the search problem (fewer indices) and turns
+runs of tiny extents into one coalescible dimension; e.g.
+``abcd-abef-efcd`` normalises all the way down to a plain matrix
+multiplication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .ir import Contraction, ContractionError, TensorRef
+from .splitting import merge_output, split_operand
+
+
+@dataclass(frozen=True)
+class MergeSpec:
+    """Record of one applied merge: ``(low, high) -> merged``."""
+
+    low_name: str
+    high_name: str
+    merged_name: str
+    low_extent: int
+    high_extent: int
+
+    @property
+    def merged_extent(self) -> int:
+        return self.low_extent * self.high_extent
+
+    def __str__(self) -> str:
+        return (
+            f"{self.low_name}({self.low_extent}) * "
+            f"{self.high_name}({self.high_extent}) -> "
+            f"{self.merged_name}({self.merged_extent})"
+        )
+
+
+def _adjacent_in(tensor: TensorRef, low: str, high: str) -> bool:
+    pos = tensor.position(low)
+    return pos + 1 < tensor.ndim and tensor.indices[pos + 1] == high
+
+
+def can_merge(contraction: Contraction, low: str, high: str) -> bool:
+    """True when ``low`` directly precedes ``high`` in every tensor
+    containing either index (and both always co-occur)."""
+    if low == high:
+        return False
+    for tensor in (contraction.c, contraction.a, contraction.b):
+        has_low = low in tensor
+        has_high = high in tensor
+        if has_low != has_high:
+            return False
+        if has_low and not _adjacent_in(tensor, low, high):
+            return False
+    return True
+
+
+def merge_candidates(contraction: Contraction) -> List[Tuple[str, str]]:
+    """All mergeable adjacent pairs, scanning each tensor's index list."""
+    pairs: List[Tuple[str, str]] = []
+    seen = set()
+    for tensor in (contraction.c, contraction.a, contraction.b):
+        for low, high in zip(tensor.indices, tensor.indices[1:]):
+            key = (low, high)
+            if key in seen:
+                continue
+            seen.add(key)
+            if can_merge(contraction, low, high):
+                pairs.append(key)
+    return pairs
+
+
+def _fresh_name(contraction: Contraction, low: str, high: str) -> str:
+    name = low + high
+    taken = set(contraction.all_indices)
+    while name in taken:
+        name += "_"
+    return name
+
+
+def merge_pair(
+    contraction: Contraction, low: str, high: str
+) -> Tuple[Contraction, MergeSpec]:
+    """Fuse one adjacent pair; raises if the pair is not mergeable."""
+    if not can_merge(contraction, low, high):
+        raise ContractionError(
+            f"indices {low!r} and {high!r} are not mergeable in "
+            f"{contraction}"
+        )
+    merged_name = _fresh_name(contraction, low, high)
+    spec = MergeSpec(
+        low_name=low,
+        high_name=high,
+        merged_name=merged_name,
+        low_extent=contraction.extent(low),
+        high_extent=contraction.extent(high),
+    )
+
+    def rewrite(tensor: TensorRef) -> TensorRef:
+        if low not in tensor.indices:
+            return tensor
+        indices: List[str] = []
+        skip = False
+        for name in tensor.indices:
+            if skip:
+                skip = False
+                continue
+            if name == low:
+                indices.append(merged_name)
+                skip = True  # drop the following `high`
+            else:
+                indices.append(name)
+        return TensorRef(tensor.name, tuple(indices))
+
+    sizes = {
+        k: v for k, v in contraction.sizes.items() if k not in (low, high)
+    }
+    sizes[merged_name] = spec.merged_extent
+    merged = Contraction(
+        c=rewrite(contraction.c),
+        a=rewrite(contraction.a),
+        b=rewrite(contraction.b),
+        sizes=sizes,
+    )
+    return merged, spec
+
+
+def normalize(
+    contraction: Contraction,
+) -> Tuple[Contraction, List[MergeSpec]]:
+    """Merge until no adjacent pair remains mergeable (fixpoint)."""
+    specs: List[MergeSpec] = []
+    current = contraction
+    while True:
+        candidates = merge_candidates(current)
+        if not candidates:
+            return current, specs
+        low, high = candidates[0]
+        current, spec = merge_pair(current, low, high)
+        specs.append(spec)
+
+
+# -- operand reshaping (numerical paths) -----------------------------------
+
+
+def merge_operands(
+    original: Contraction,
+    specs: Sequence[MergeSpec],
+    a: np.ndarray,
+    b: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reshape original operands to the merged contraction's shapes."""
+    a_indices = list(original.a.indices)
+    b_indices = list(original.b.indices)
+    for spec in specs:
+        for indices, which in ((a_indices, "a"), (b_indices, "b")):
+            if spec.low_name in indices:
+                axis = indices.index(spec.low_name)
+                if which == "a":
+                    a = merge_output(a, axis)
+                else:
+                    b = merge_output(b, axis)
+                indices[axis:axis + 2] = [spec.merged_name]
+    return a, b
+
+
+def unmerge_output(
+    merged: Contraction,
+    specs: Sequence[MergeSpec],
+    c: np.ndarray,
+) -> np.ndarray:
+    """Expand a merged output back to the original index shape."""
+    c_indices = list(merged.c.indices)
+    for spec in reversed(list(specs)):
+        if spec.merged_name in c_indices:
+            axis = c_indices.index(spec.merged_name)
+            c = split_operand(c, axis, spec.low_extent)
+            c_indices[axis:axis + 1] = [spec.low_name, spec.high_name]
+    return np.ascontiguousarray(c)

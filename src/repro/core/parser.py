@@ -1,0 +1,168 @@
+"""Parsers for tensor contraction expressions.
+
+Three surface syntaxes are accepted, all producing a
+:class:`~repro.core.ir.Contraction`:
+
+* **TCCG compact**: ``"abcd-aebf-dfce"`` — three dashes-separated index
+  strings for C, A, B with single-character index names.  This is the
+  format used by the TCCG benchmark suite and by COGENT's
+  ``input_strings`` files.
+* **Einstein assignment**: ``"C[a,b,c,d] = A[a,e,b,f] * B[d,f,c,e]"`` —
+  arbitrary tensor and index names.
+* **einsum**: ``"aebf,dfce->abcd"`` — numpy.einsum-style, inputs first.
+
+Sizes can be given per index (``{"a": 16, ...}``) or as a single default
+extent applied to every index.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from .ir import Contraction, ContractionError, TensorRef
+
+SizesArg = Union[int, Mapping[str, int], None]
+
+_EINSTEIN_RE = re.compile(
+    r"""^\s*(?P<cname>\w+)\s*\[(?P<cidx>[^\]]*)\]\s*
+        (?:\+?=)\s*
+        (?P<aname>\w+)\s*\[(?P<aidx>[^\]]*)\]\s*
+        \*\s*
+        (?P<bname>\w+)\s*\[(?P<bidx>[^\]]*)\]\s*;?\s*$""",
+    re.VERBOSE,
+)
+
+
+def _split_index_list(text: str, expr: str) -> Tuple[str, ...]:
+    names = tuple(part.strip() for part in text.split(",") if part.strip())
+    if not names:
+        raise ContractionError(f"empty index list in {expr!r}")
+    return names
+
+
+def resolve_sizes(indices: Tuple[str, ...], sizes: SizesArg) -> Dict[str, int]:
+    """Build a per-index extent map from the flexible ``sizes`` argument."""
+    if sizes is None:
+        sizes = 16
+    if isinstance(sizes, int):
+        return {idx: sizes for idx in indices}
+    resolved = {}
+    default = None
+    for key, value in sizes.items():
+        if key == "*":
+            default = value
+        else:
+            resolved[key] = value
+    for idx in indices:
+        if idx not in resolved:
+            if default is None:
+                raise ContractionError(f"no extent given for index {idx!r}")
+            resolved[idx] = default
+    return {idx: resolved[idx] for idx in indices}
+
+
+def parse_compact(expr: str, sizes: SizesArg = None) -> Contraction:
+    """Parse a TCCG compact string like ``"abcd-aebf-dfce"``.
+
+    The three fields are the index strings of C, A and B, each character
+    being one index name.  The leftmost character is the FVI.
+    """
+    parts = expr.strip().split("-")
+    if len(parts) != 3 or not all(parts):
+        raise ContractionError(
+            f"compact form needs exactly three '-'-separated fields: {expr!r}"
+        )
+    c_idx, a_idx, b_idx = (tuple(part) for part in parts)
+    all_indices = tuple(dict.fromkeys(c_idx + a_idx + b_idx))
+    size_map = resolve_sizes(all_indices, sizes)
+    return Contraction(
+        c=TensorRef("C", c_idx),
+        a=TensorRef("A", a_idx),
+        b=TensorRef("B", b_idx),
+        sizes=size_map,
+    )
+
+
+def parse_einstein(expr: str, sizes: SizesArg = None) -> Contraction:
+    """Parse ``"C[a,b] = A[a,k] * B[k,b]"`` style expressions."""
+    match = _EINSTEIN_RE.match(expr)
+    if match is None:
+        raise ContractionError(f"cannot parse Einstein expression: {expr!r}")
+    c_idx = _split_index_list(match["cidx"], expr)
+    a_idx = _split_index_list(match["aidx"], expr)
+    b_idx = _split_index_list(match["bidx"], expr)
+    all_indices = tuple(dict.fromkeys(c_idx + a_idx + b_idx))
+    size_map = resolve_sizes(all_indices, sizes)
+    return Contraction(
+        c=TensorRef(match["cname"], c_idx),
+        a=TensorRef(match["aname"], a_idx),
+        b=TensorRef(match["bname"], b_idx),
+        sizes=size_map,
+    )
+
+
+def parse_einsum(expr: str, sizes: SizesArg = None) -> Contraction:
+    """Parse ``"aebf,dfce->abcd"`` style (inputs first, output last)."""
+    if "->" not in expr:
+        raise ContractionError(f"einsum form needs '->': {expr!r}")
+    lhs, c_part = expr.split("->", 1)
+    input_parts = lhs.split(",")
+    if len(input_parts) != 2:
+        raise ContractionError(
+            f"exactly two input tensors are supported: {expr!r}"
+        )
+    a_idx = tuple(input_parts[0].strip())
+    b_idx = tuple(input_parts[1].strip())
+    c_idx = tuple(c_part.strip())
+    if not (a_idx and b_idx and c_idx):
+        raise ContractionError(f"empty tensor subscript in {expr!r}")
+    all_indices = tuple(dict.fromkeys(c_idx + a_idx + b_idx))
+    size_map = resolve_sizes(all_indices, sizes)
+    return Contraction(
+        c=TensorRef("C", c_idx),
+        a=TensorRef("A", a_idx),
+        b=TensorRef("B", b_idx),
+        sizes=size_map,
+    )
+
+
+def parse(expr: str, sizes: SizesArg = None) -> Contraction:
+    """Parse a contraction in any supported syntax (auto-detected)."""
+    stripped = expr.strip()
+    if "[" in stripped:
+        return parse_einstein(stripped, sizes)
+    if "->" in stripped:
+        return parse_einsum(stripped, sizes)
+    return parse_compact(stripped, sizes)
+
+
+def parse_size_spec(spec: Optional[str]) -> SizesArg:
+    """Parse a CLI size specification.
+
+    Accepts either a bare integer (``"24"``) applied to all indices, or a
+    comma-separated list of ``index=extent`` pairs with an optional
+    ``*=extent`` default (``"a=16,b=32,*=24"``).
+    """
+    if spec is None:
+        return None
+    spec = spec.strip()
+    if not spec:
+        return None
+    # Note: str.isdigit() accepts non-ASCII digits (e.g. superscripts)
+    # that int() rejects, so check ASCII-ness too.
+    if spec.isascii() and spec.isdigit():
+        return int(spec)
+    sizes: Dict[str, int] = {}
+    for pair in spec.split(","):
+        if "=" not in pair:
+            raise ContractionError(f"bad size spec fragment: {pair!r}")
+        key, _, value = pair.partition("=")
+        key = key.strip()
+        try:
+            sizes[key] = int(value)
+        except ValueError:
+            raise ContractionError(
+                f"bad extent for index {key!r}: {value!r}"
+            ) from None
+    return sizes

@@ -1,0 +1,193 @@
+"""Index splitting: the paper's dimension-splitting extension.
+
+Section IV of the paper notes that *splitting a dimension into multiple
+dimensions* "helps ensure that there are enough thread blocks" (and,
+dually, lets one physical index feed both a thread-block dimension and a
+register-tile dimension).  This module implements that extension: an
+index ``b`` of extent ``N`` is replaced, in every tensor that contains
+it, by an adjacent pair ``(b0, b1)`` of extents ``(f, N / f)`` with
+``b0`` the faster sub-index.
+
+Because ``b0`` is placed immediately before ``b1``, the column-major
+strides of the split tensor are exactly those of the original
+(``stride(b0) = stride(b)``, ``stride(b1) = stride(b) * f``): kernels
+generated for the split contraction are *bit-compatible* with the
+original tensors in memory whenever ``f`` divides ``N`` — no data
+movement is implied.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .ir import Contraction, ContractionError, TensorRef
+
+
+@dataclass(frozen=True)
+class SplitSpec:
+    """Record of one applied index split."""
+
+    index: str
+    low_name: str
+    high_name: str
+    factor: int
+    original_extent: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.index}({self.original_extent}) -> "
+            f"{self.low_name}({self.factor}) x "
+            f"{self.high_name}({self.original_extent // self.factor})"
+        )
+
+
+def _fresh_names(contraction: Contraction, index: str) -> Tuple[str, str]:
+    taken = set(contraction.all_indices)
+    low, high = f"{index}0", f"{index}1"
+    while low in taken or high in taken:
+        low += "_"
+        high += "_"
+    return low, high
+
+
+def split_index(
+    contraction: Contraction, index: str, factor: int
+) -> Tuple[Contraction, SplitSpec]:
+    """Split ``index`` by ``factor``; returns the new contraction + spec.
+
+    ``factor`` must divide the index's extent exactly so that the
+    per-sub-index bounds checks in generated code remain equivalent to
+    the original single bound.
+    """
+    extent = contraction.extent(index)
+    if factor < 2 or extent % factor != 0 or factor == extent:
+        raise ContractionError(
+            f"cannot split index {index!r} of extent {extent} by {factor}"
+        )
+    low, high = _fresh_names(contraction, index)
+
+    def rewrite(tensor: TensorRef) -> TensorRef:
+        if index not in tensor.indices:
+            return tensor
+        new_indices: List[str] = []
+        for i in tensor.indices:
+            if i == index:
+                new_indices.extend((low, high))
+            else:
+                new_indices.append(i)
+        return TensorRef(tensor.name, tuple(new_indices))
+
+    sizes = {k: v for k, v in contraction.sizes.items() if k != index}
+    sizes[low] = factor
+    sizes[high] = extent // factor
+    split = Contraction(
+        c=rewrite(contraction.c),
+        a=rewrite(contraction.a),
+        b=rewrite(contraction.b),
+        sizes=sizes,
+    )
+    return split, SplitSpec(index, low, high, factor, extent)
+
+
+def candidate_splits(
+    contraction: Contraction,
+    factors: Sequence[int] = (4, 8, 16),
+    max_candidates: int = 8,
+) -> List[Tuple[Contraction, SplitSpec]]:
+    """Split variants worth searching.
+
+    Splitting pays off when one side of the contraction has too few
+    external indices to populate both its thread-block and register
+    dimensions, or when an extent is so large that a single index
+    mapping wastes parallelism.  Candidates: every external index on a
+    side with fewer than two externals, for every factor that divides
+    its extent with a quotient of at least 2.
+    """
+    candidates: List[Tuple[Contraction, SplitSpec]] = []
+    sides = (
+        contraction.externals_of(contraction.x_input),
+        contraction.externals_of(contraction.y_input),
+    )
+    for side in sides:
+        if len(side) >= 2:
+            continue
+        for index in side:
+            extent = contraction.extent(index)
+            for factor in factors:
+                if extent % factor or extent // factor < 2:
+                    continue
+                candidates.append(split_index(contraction, index, factor))
+                if len(candidates) >= max_candidates:
+                    return candidates
+    return candidates
+
+
+# -- operand reshaping (numerical paths) -----------------------------------
+
+
+def split_operand(
+    array: np.ndarray, axis: int, factor: int
+) -> np.ndarray:
+    """View ``array`` with ``axis`` split into (low, high), low first.
+
+    With the first-index-fastest convention, element ``i`` along the
+    axis maps to ``(i % factor, i // factor)``.
+    """
+    shape = list(array.shape)
+    n = shape[axis]
+    if n % factor:
+        raise ValueError(f"extent {n} not divisible by split factor {factor}")
+    new_shape = shape[:axis] + [n // factor, factor] + shape[axis + 1:]
+    reshaped = array.reshape(new_shape)
+    return np.swapaxes(reshaped, axis, axis + 1)
+
+
+def merge_output(array: np.ndarray, axis: int) -> np.ndarray:
+    """Inverse of :func:`split_operand`: merge ``(axis, axis+1)``."""
+    swapped = np.swapaxes(array, axis, axis + 1)
+    shape = list(swapped.shape)
+    merged = shape[:axis] + [shape[axis] * shape[axis + 1]] + shape[axis + 2:]
+    return np.ascontiguousarray(swapped).reshape(merged)
+
+
+def adapt_operands(
+    original: Contraction,
+    specs: Sequence[SplitSpec],
+    a: np.ndarray,
+    b: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reshape original operands to the split contraction's shapes.
+
+    Splits are applied in order, tracking how earlier splits shift the
+    axis positions of later ones.
+    """
+    a_indices = list(original.a.indices)
+    b_indices = list(original.b.indices)
+    for spec in specs:
+        if spec.index in a_indices:
+            axis = a_indices.index(spec.index)
+            a = split_operand(a, axis, spec.factor)
+            a_indices[axis:axis + 1] = [spec.low_name, spec.high_name]
+        if spec.index in b_indices:
+            axis = b_indices.index(spec.index)
+            b = split_operand(b, axis, spec.factor)
+            b_indices[axis:axis + 1] = [spec.low_name, spec.high_name]
+    return a, b
+
+
+def restore_output(
+    split: Contraction,
+    specs: Sequence[SplitSpec],
+    c: np.ndarray,
+) -> np.ndarray:
+    """Merge a split-contraction output back to the original shape."""
+    c_indices = list(split.c.indices)
+    for spec in reversed(list(specs)):
+        if spec.low_name in c_indices:
+            axis = c_indices.index(spec.low_name)
+            c = merge_output(c, axis)
+            c_indices[axis:axis + 2] = [spec.index]
+    return c

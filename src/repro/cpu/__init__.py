@@ -1,0 +1,24 @@
+"""CPU tensor-contraction substrate: architecture models and the TCCG
+framework alternatives (TTGT/HPTT, GETT, loop-over-GEMM)."""
+
+from .arch import CPU_ARCHS, CpuArch, XEON_BROADWELL, XEON_DESKTOP, get_cpu_arch
+from .frameworks import (
+    CpuGett,
+    CpuLog,
+    CpuResult,
+    CpuTtgt,
+    compare_cpu_frameworks,
+)
+
+__all__ = [
+    "CPU_ARCHS",
+    "CpuArch",
+    "CpuGett",
+    "CpuLog",
+    "CpuResult",
+    "CpuTtgt",
+    "XEON_BROADWELL",
+    "XEON_DESKTOP",
+    "compare_cpu_frameworks",
+    "get_cpu_arch",
+]

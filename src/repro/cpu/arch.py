@@ -1,0 +1,96 @@
+"""CPU architecture descriptions for the CPU contraction frameworks.
+
+The paper's evaluation narrative also benchmarks CPU-based tensor
+contraction frameworks (TTGT with HPTT transposes, GETT, loop-over-GEMM
+from the TCCG distribution).  These run on a multicore-CPU model that
+deliberately mirrors the :class:`~repro.gpu.arch.GpuArch` attribute
+names used by the shared transpose/GEMM cost machinery
+(``peak_gflops(dtype_bytes)``, ``dram_bandwidth_gbs``), so the TTGT
+pipeline can be retargeted by swapping the architecture object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class CpuArch:
+    """A multicore CPU with SIMD FMA units and a cache hierarchy."""
+
+    name: str
+    cores: int
+    clock_ghz: float
+    #: SIMD lanes per FMA instruction for double precision.
+    simd_dp_lanes: int
+    #: FMA pipes per core.
+    fma_units: int
+    #: Cache capacities in bytes (L1d/L2 per core, L3 shared).
+    l1d_bytes: int
+    l2_bytes: int
+    l3_bytes: int
+    #: Sustainable memory bandwidth in GB/s (all cores).
+    dram_bandwidth_gbs: float
+    num_sms: int = 0  # duck-type filler for shared cost models
+
+    def __post_init__(self) -> None:
+        # The shared GEMM model uses num_sms for wave quantisation; a
+        # CPU's analogue is its core count.
+        object.__setattr__(self, "num_sms", self.cores)
+
+    @property
+    def peak_gflops_dp(self) -> float:
+        return (
+            self.cores * self.fma_units * self.simd_dp_lanes
+            * 2.0 * self.clock_ghz
+        )
+
+    @property
+    def peak_gflops_sp(self) -> float:
+        return 2.0 * self.peak_gflops_dp
+
+    def peak_gflops(self, dtype_bytes: int) -> float:
+        return self.peak_gflops_dp if dtype_bytes == 8 else \
+            self.peak_gflops_sp
+
+
+#: A Broadwell-class dual-socket node (2 x 14 cores, AVX2), the kind of
+#: machine the CPU frameworks in the paper's related work report on.
+XEON_BROADWELL = CpuArch(
+    name="Xeon-BDW28",
+    cores=28,
+    clock_ghz=2.4,
+    simd_dp_lanes=4,
+    fma_units=2,
+    l1d_bytes=32 * 1024,
+    l2_bytes=256 * 1024,
+    l3_bytes=70 * 1024 * 1024,
+    dram_bandwidth_gbs=130.0,
+)
+
+#: A single-socket desktop part for small-scale runs.
+XEON_DESKTOP = CpuArch(
+    name="Xeon-W8",
+    cores=8,
+    clock_ghz=3.0,
+    simd_dp_lanes=4,
+    fma_units=2,
+    l1d_bytes=32 * 1024,
+    l2_bytes=1024 * 1024,
+    l3_bytes=16 * 1024 * 1024,
+    dram_bandwidth_gbs=60.0,
+)
+
+CPU_ARCHS: Dict[str, CpuArch] = {
+    "BDW28": XEON_BROADWELL,
+    "W8": XEON_DESKTOP,
+}
+
+
+def get_cpu_arch(name: str) -> CpuArch:
+    try:
+        return CPU_ARCHS[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(CPU_ARCHS))
+        raise KeyError(f"unknown CPU architecture {name!r}; known: {known}")

@@ -1,0 +1,240 @@
+"""CPU tensor-contraction frameworks: TTGT (HPTT-style), GETT, and
+loop-over-GEMM (LoG) — the alternatives shipped in the TCCG framework
+the paper draws its benchmark suite from.
+
+All three share the matricisation logic of :mod:`repro.ttgt` and are
+modelled mechanistically:
+
+* **TTGT** — HPTT-style transposes (bandwidth-bound, efficiency set by
+  the fast dimensions on both sides) around one large BLAS GEMM.
+* **GETT** — a direct macro-kernel: no transposes; GEMM-like compute
+  whose efficiency additionally depends on how well the innermost index
+  groups map onto SIMD-friendly strides (stride-1 A/C along the fused M
+  group) and whether the macro-tile working set holds in L2.
+* **LoG** — when maximal stride-compatible index groups exist, a plain
+  GEMM is called in a loop over the leftover indices; small sub-GEMMs
+  pay the usual efficiency penalty.
+
+Each framework also has a numpy execution path for correctness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..core.ir import Contraction
+from ..ttgt.gemm import GemmParams, gemm_time
+from ..ttgt.pipeline import TtgtPipeline
+from ..ttgt.transpose import TransposeParams
+from .arch import CpuArch
+
+#: HPTT sustains a larger fraction of CPU bandwidth than naive loops.
+HPTT_TRANSPOSE_PARAMS = TransposeParams(
+    fvi_preserving_efficiency=0.80,
+    tiled_efficiency=0.45,
+    saturation_elements=32,
+    launch_overhead_s=2e-6,
+)
+
+#: Vendor-BLAS-like CPU GEMM.
+CPU_GEMM_PARAMS = GemmParams(
+    peak_efficiency=0.90,
+    tile_mn=96,
+    k_overhead=32,
+    memory_efficiency=0.75,
+    launch_overhead_s=2e-6,
+)
+
+
+@dataclass(frozen=True)
+class CpuResult:
+    """One CPU framework's modelled performance."""
+
+    framework: str
+    time_s: float
+    gflops: float
+    detail: str = ""
+
+
+class CpuTtgt:
+    """TTGT on the CPU: HPTT transposes + BLAS GEMM."""
+
+    name = "ttgt-cpu"
+
+    def __init__(self, arch: CpuArch, dtype_bytes: int = 8) -> None:
+        self.arch = arch
+        self.dtype_bytes = dtype_bytes
+        self.pipeline = TtgtPipeline(
+            arch,  # duck-typed: bandwidth + peak_gflops
+            dtype_bytes,
+            transpose_params=HPTT_TRANSPOSE_PARAMS,
+            gemm_params=CPU_GEMM_PARAMS,
+            host_overhead_s=5e-6,
+        )
+
+    def time(self, contraction: Contraction) -> CpuResult:
+        plan = self.pipeline.plan(contraction)
+        return CpuResult(
+            self.name, plan.total_time, plan.gflops, plan.summary()
+        )
+
+    def execute(self, contraction, a, b):
+        return self.pipeline.execute(contraction, a, b)
+
+
+class CpuGett:
+    """GETT-style direct macro-kernel contraction."""
+
+    name = "gett"
+
+    def __init__(self, arch: CpuArch, dtype_bytes: int = 8) -> None:
+        self.arch = arch
+        self.dtype_bytes = dtype_bytes
+
+    def time(self, contraction: Contraction) -> CpuResult:
+        m, n, k = _mnk(contraction)
+        flops = 2.0 * m * n * k
+        peak = self.arch.peak_gflops(self.dtype_bytes) * 1e9
+
+        # SIMD efficiency: the packing kernels vectorise along each
+        # tensor's FVI; a short fused-M stride-1 run hurts.
+        fvi_run = contraction.extent(contraction.a.fvi)
+        simd = min(1.0, fvi_run / (4 * self.arch.simd_dp_lanes))
+        # Macro-tile residency: the B-panel (k_c x n_c) should sit in
+        # L2; large K extents stream instead.
+        kc = min(k, 256)
+        panel = kc * 96 * self.dtype_bytes
+        residency = min(1.0, self.arch.l2_bytes / max(panel, 1))
+        efficiency = 0.80 * simd * (0.6 + 0.4 * residency)
+        compute = flops / (peak * max(efficiency, 1e-6))
+
+        bytes_moved = self.dtype_bytes * (m * k + k * n + 2 * m * n)
+        memory = bytes_moved / (self.arch.dram_bandwidth_gbs * 1e9 * 0.7)
+        total = max(compute, memory) + 5e-6
+        return CpuResult(
+            self.name, total, flops / total / 1e9,
+            f"simd={simd:.2f} residency={residency:.2f}",
+        )
+
+    def execute(self, contraction, a, b):
+        # Functionally GETT computes the exact contraction.
+        from ..gpu.executor import reference_contract
+
+        return reference_contract(contraction, a, b)
+
+
+class CpuLog:
+    """Loop-over-GEMM: batched plain GEMMs over leftover indices."""
+
+    name = "log"
+
+    def __init__(self, arch: CpuArch, dtype_bytes: int = 8) -> None:
+        self.arch = arch
+        self.dtype_bytes = dtype_bytes
+
+    def plan_groups(
+        self, contraction: Contraction
+    ) -> Tuple[Tuple[str, ...], Tuple[str, ...], Tuple[str, ...],
+               Tuple[str, ...]]:
+        """(m-group, n-group, k-group, loop-group).
+
+        The GEMM-able groups are the leading stride-compatible runs:
+        the prefix of A shared with C (same order, starting at both
+        FVIs) forms M; the prefix of B's internals matching A's
+        trailing internals forms K; the prefix of B shared with C forms
+        N.  Everything else is looped over.
+        """
+        ints = set(contraction.internal_indices)
+        a, b, c = contraction.a, contraction.b, contraction.c
+
+        def common_prefix(x: Tuple[str, ...], y: Tuple[str, ...]):
+            out = []
+            for i, j in zip(x, y):
+                if i != j:
+                    break
+                out.append(i)
+            return tuple(out)
+
+        m_group = common_prefix(a.indices, c.indices)
+        m_set = set(m_group)
+        # K: leading internals of B that appear contiguously in A right
+        # after the m-group.
+        a_rest = tuple(i for i in a.indices if i not in m_set)
+        k_group = common_prefix(
+            tuple(i for i in a_rest if i in ints),
+            tuple(i for i in b.indices if i in ints),
+        )
+        k_set = set(k_group)
+        c_rest = tuple(i for i in c.indices if i not in m_set)
+        n_group = common_prefix(
+            tuple(i for i in b.indices if i not in ints),
+            c_rest,
+        )
+        loop_group = tuple(
+            i for i in contraction.all_indices
+            if i not in m_set and i not in k_set and i not in set(n_group)
+        )
+        return m_group, n_group, k_group, loop_group
+
+    def time(self, contraction: Contraction) -> CpuResult:
+        m_group, n_group, k_group, loop_group = self.plan_groups(
+            contraction
+        )
+        sizes = contraction.sizes
+
+        def prod(group):
+            return math.prod(sizes[i] for i in group) if group else 1
+
+        m, n, k = prod(m_group), prod(n_group), prod(k_group)
+        loops = prod(loop_group)
+        if m == 1 or n == 1 or k == 1:
+            # No usable GEMM structure: degenerate to element loops.
+            flops = 2.0 * contraction.iteration_space
+            time = flops / (
+                self.arch.peak_gflops(self.dtype_bytes) * 1e9 * 0.02
+            )
+            return CpuResult(self.name, time, flops / time / 1e9,
+                             "no GEMM-able groups")
+        per_gemm = gemm_time(
+            m, n, k, self.arch, self.dtype_bytes, CPU_GEMM_PARAMS
+        )
+        total = per_gemm * loops
+        flops = 2.0 * m * n * k * loops
+        return CpuResult(
+            self.name, total, flops / total / 1e9,
+            f"{loops} GEMMs of {m}x{n}x{k}",
+        )
+
+    def execute(self, contraction, a, b):
+        from ..gpu.executor import reference_contract
+
+        return reference_contract(contraction, a, b)
+
+
+def _mnk(contraction: Contraction) -> Tuple[int, int, int]:
+    sizes = contraction.sizes
+    ext_a = contraction.externals_of(contraction.a)
+    ext_b = contraction.externals_of(contraction.b)
+    ints = contraction.internal_indices
+    m = math.prod(sizes[i] for i in ext_a) if ext_a else 1
+    n = math.prod(sizes[i] for i in ext_b) if ext_b else 1
+    k = math.prod(sizes[i] for i in ints) if ints else 1
+    return m, n, k
+
+
+def compare_cpu_frameworks(
+    contraction: Contraction,
+    arch: CpuArch,
+    dtype_bytes: int = 8,
+) -> Dict[str, CpuResult]:
+    """Run every CPU framework's model on one contraction."""
+    frameworks = (
+        CpuTtgt(arch, dtype_bytes),
+        CpuGett(arch, dtype_bytes),
+        CpuLog(arch, dtype_bytes),
+    )
+    return {fw.name: fw.time(contraction) for fw in frameworks}

@@ -1,0 +1,23 @@
+"""Experiment harness shared by benchmarks, examples, and the CLI."""
+
+from .runner import (
+    FRAMEWORKS,
+    ComparisonRow,
+    FrameworkResult,
+    SuiteRunner,
+    geomean,
+    speedup_summary,
+)
+from .tables import curve_table, format_table, to_csv
+
+__all__ = [
+    "FRAMEWORKS",
+    "ComparisonRow",
+    "FrameworkResult",
+    "SuiteRunner",
+    "curve_table",
+    "format_table",
+    "geomean",
+    "speedup_summary",
+    "to_csv",
+]

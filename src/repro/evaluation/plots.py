@@ -1,0 +1,110 @@
+"""Terminal-friendly renderings of the paper's figures.
+
+The paper's Figs. 4-7 are grouped bar charts (GFLOPS per benchmark per
+framework) and Fig. 8 is a line plot (GFLOPS vs evaluated versions).
+These helpers render the same series as unicode bar/line charts so the
+benchmark harness output *looks like* the figure being reproduced, not
+just a table.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence
+
+from .runner import ComparisonRow
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def hbar(value: float, scale: float, width: int) -> str:
+    """A horizontal bar of ``value`` against full-scale ``scale``."""
+    if scale <= 0:
+        return ""
+    units = value / scale * width
+    full = int(units)
+    return _BAR * full + (_HALF if units - full >= 0.5 else "")
+
+
+def grouped_bars(
+    rows: Sequence[ComparisonRow],
+    frameworks: Sequence[str],
+    width: int = 46,
+    title: str = "",
+) -> str:
+    """Fig. 4/5-style grouped horizontal bars, one group per benchmark."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    scale = max(
+        row.gflops(fw) for row in rows for fw in frameworks
+    )
+    lines.append(f"(full scale = {scale:.0f} GFLOPS)")
+    label_width = max(len(fw) for fw in frameworks)
+    for row in rows:
+        lines.append(f"{row.benchmark.id:>3} {row.benchmark.name} "
+                     f"({row.benchmark.expr})")
+        for fw in frameworks:
+            value = row.gflops(fw)
+            lines.append(
+                f"    {fw:<{label_width}} "
+                f"{hbar(value, scale, width):<{width}} {value:8.1f}"
+            )
+    return "\n".join(lines)
+
+
+def line_plot(
+    series: Mapping[str, Sequence[float]],
+    height: int = 12,
+    width: int = 64,
+    y_label: str = "GFLOPS",
+    x_label: str = "evaluated code versions",
+    hlines: Optional[Mapping[str, float]] = None,
+) -> str:
+    """Fig. 8-style line plot of one or more series on a shared axis.
+
+    Series are resampled to ``width`` columns; each gets a distinct
+    marker.  ``hlines`` adds horizontal reference lines (e.g. COGENT's
+    one-shot result).
+    """
+    markers = "*o+x#@"
+    hlines = dict(hlines or {})
+    peak = max(
+        [max(s) for s in series.values() if len(s)] + list(hlines.values())
+        or [1.0]
+    )
+    grid = [[" "] * width for _ in range(height)]
+
+    def row_of(value: float) -> int:
+        frac = min(1.0, value / peak) if peak > 0 else 0.0
+        return min(height - 1, int(round((1 - frac) * (height - 1))))
+
+    for label, level in hlines.items():
+        r = row_of(level)
+        for col in range(width):
+            if grid[r][col] == " ":
+                grid[r][col] = "-"
+
+    legend: List[str] = []
+    for pos, (label, values) in enumerate(series.items()):
+        marker = markers[pos % len(markers)]
+        legend.append(f"{marker} = {label}")
+        if not values:
+            continue
+        for col in range(width):
+            idx = min(len(values) - 1,
+                      int(col / max(1, width - 1) * (len(values) - 1)))
+            grid[row_of(values[idx])][col] = marker
+
+    lines = []
+    for r, row in enumerate(grid):
+        frac = 1 - r / (height - 1) if height > 1 else 1.0
+        axis_value = peak * frac
+        lines.append(f"{axis_value:9.0f} |" + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(" " * 12 + x_label)
+    for label, level in hlines.items():
+        legend.append(f"- = {label} ({level:.0f})")
+    lines.append("  ".join(legend))
+    lines.insert(0, f"{y_label} vs {x_label}")
+    return "\n".join(lines)

@@ -1,0 +1,207 @@
+"""Shared experiment runner: one API to time every framework.
+
+Used by the ``benchmarks/`` harness (Figs. 4-8 reproductions), the
+examples, and the CLI.  Each framework returns a
+:class:`FrameworkResult` with the modelled execution time and GFLOPS of
+the contraction on the target (simulated) GPU.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from ..baselines.nwchem import NwchemGenerator
+from ..baselines.tc import TcAutotuner
+from ..core.generator import Cogent
+from ..core.ir import Contraction
+from ..gpu.arch import GpuArch, get_arch
+from ..gpu.simulator import GpuSimulator
+from ..tccg.suite import Benchmark
+from ..ttgt.pipeline import TtgtPipeline
+
+FRAMEWORKS = ("cogent", "nwchem", "talsh", "tc", "tc_untuned")
+
+
+@dataclass
+class FrameworkResult:
+    """One framework's modelled performance on one contraction."""
+
+    framework: str
+    benchmark: str
+    gflops: float
+    time_s: float
+    setup_time_s: float = 0.0
+    detail: str = ""
+
+
+@dataclass
+class ComparisonRow:
+    """All frameworks' results for one benchmark."""
+
+    benchmark: Benchmark
+    results: Dict[str, FrameworkResult] = field(default_factory=dict)
+
+    def gflops(self, framework: str) -> float:
+        return self.results[framework].gflops
+
+    def speedup(self, framework: str, over: str) -> float:
+        return self.gflops(framework) / self.gflops(over)
+
+
+def geomean(values: Iterable[float]) -> float:
+    values = [v for v in values]
+    if not values:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+class SuiteRunner:
+    """Runs TCCG benchmarks through the compared frameworks."""
+
+    def __init__(
+        self,
+        arch: Union[str, GpuArch] = "V100",
+        dtype_bytes: int = 8,
+        tc_population: int = 20,
+        tc_generations: int = 5,
+        tc_seed: int = 0,
+    ) -> None:
+        self.arch = get_arch(arch) if isinstance(arch, str) else arch
+        self.dtype_bytes = dtype_bytes
+        self.cogent = Cogent(arch=self.arch, dtype_bytes=dtype_bytes)
+        self.nwchem = NwchemGenerator(self.arch, dtype_bytes)
+        self.talsh = TtgtPipeline(self.arch, dtype_bytes)
+        self.simulator = GpuSimulator(self.arch)
+        self.tc = TcAutotuner(
+            self.arch,
+            dtype_bytes,
+            population=tc_population,
+            generations=tc_generations,
+            seed=tc_seed,
+        )
+
+    # -- per-framework runs -----------------------------------------------
+
+    def run_cogent(
+        self, contraction: Contraction, name: str = ""
+    ) -> FrameworkResult:
+        start = time.perf_counter()
+        kernel = self.cogent.generate(contraction)
+        setup = time.perf_counter() - start
+        sim = kernel.candidates[0].simulated
+        if sim is None:
+            sim = self.simulator.simulate(kernel.plan)
+        return FrameworkResult(
+            framework="cogent",
+            benchmark=name,
+            gflops=sim.gflops,
+            time_s=sim.time_s,
+            setup_time_s=setup,
+            detail=kernel.config.describe(),
+        )
+
+    def run_nwchem(
+        self, contraction: Contraction, name: str = ""
+    ) -> FrameworkResult:
+        start = time.perf_counter()
+        plan = self.nwchem.generate(contraction)
+        setup = time.perf_counter() - start
+        sim = self.simulator.simulate(plan)
+        return FrameworkResult(
+            framework="nwchem",
+            benchmark=name,
+            gflops=sim.gflops,
+            time_s=sim.time_s,
+            setup_time_s=setup,
+            detail=plan.config.describe(),
+        )
+
+    def run_talsh(
+        self, contraction: Contraction, name: str = ""
+    ) -> FrameworkResult:
+        start = time.perf_counter()
+        plan = self.talsh.plan(contraction)
+        setup = time.perf_counter() - start
+        return FrameworkResult(
+            framework="talsh",
+            benchmark=name,
+            gflops=plan.gflops,
+            time_s=plan.total_time,
+            setup_time_s=setup,
+            detail=plan.summary(),
+        )
+
+    def run_tc(
+        self, contraction: Contraction, name: str = ""
+    ) -> FrameworkResult:
+        result = self.tc.tune(contraction)
+        best_time = (
+            contraction.flops / (result.best_gflops * 1e9)
+            if result.best_gflops > 0
+            else float("inf")
+        )
+        return FrameworkResult(
+            framework="tc",
+            benchmark=name,
+            gflops=result.best_gflops,
+            time_s=best_time,
+            setup_time_s=result.modeled_tuning_time_s,
+            detail=f"{result.evaluations} evaluations",
+        )
+
+    def run_tc_untuned(
+        self, contraction: Contraction, name: str = ""
+    ) -> FrameworkResult:
+        gflops = self.tc.untuned_gflops(contraction)
+        return FrameworkResult(
+            framework="tc_untuned",
+            benchmark=name,
+            gflops=gflops,
+            time_s=contraction.flops / (gflops * 1e9),
+            detail="default mapping, no tuning",
+        )
+
+    def run(
+        self, framework: str, contraction: Contraction, name: str = ""
+    ) -> FrameworkResult:
+        runner = {
+            "cogent": self.run_cogent,
+            "nwchem": self.run_nwchem,
+            "talsh": self.run_talsh,
+            "tc": self.run_tc,
+            "tc_untuned": self.run_tc_untuned,
+        }.get(framework)
+        if runner is None:
+            raise KeyError(
+                f"unknown framework {framework!r}; choose from {FRAMEWORKS}"
+            )
+        return runner(contraction, name)
+
+    # -- suite-level comparison -----------------------------------------------
+
+    def compare(
+        self,
+        benchmarks: Sequence[Benchmark],
+        frameworks: Sequence[str] = ("cogent", "nwchem", "talsh"),
+    ) -> List[ComparisonRow]:
+        rows: List[ComparisonRow] = []
+        for bench in benchmarks:
+            contraction = bench.contraction()
+            row = ComparisonRow(bench)
+            for framework in frameworks:
+                row.results[framework] = self.run(
+                    framework, contraction, bench.name
+                )
+            rows.append(row)
+        return rows
+
+
+def speedup_summary(
+    rows: Sequence[ComparisonRow], over: str, of: str = "cogent"
+) -> Tuple[float, float]:
+    """(geomean, max) speedup of ``of`` over ``over`` across rows."""
+    ratios = [row.speedup(of, over) for row in rows]
+    return geomean(ratios), max(ratios)

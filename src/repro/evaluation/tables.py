@@ -1,0 +1,74 @@
+"""Text/CSV rendering of comparison results (the figures' data series)."""
+
+from __future__ import annotations
+
+import io
+from typing import Sequence
+
+from .runner import ComparisonRow, geomean, speedup_summary
+
+
+def format_table(
+    rows: Sequence[ComparisonRow],
+    frameworks: Sequence[str],
+    title: str = "",
+) -> str:
+    """Render a GFLOPS table, one benchmark per line, plus summary."""
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header = f"{'#':>3} {'benchmark':<14} {'expr':<22}"
+    for fw in frameworks:
+        header += f" {fw:>11}"
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for row in rows:
+        line = (
+            f"{row.benchmark.id:>3} {row.benchmark.name:<14} "
+            f"{row.benchmark.expr:<22}"
+        )
+        for fw in frameworks:
+            line += f" {row.gflops(fw):>11.1f}"
+        out.write(line + "\n")
+    out.write("-" * len(header) + "\n")
+    summary = f"{'':>3} {'geomean GFLOPS':<37}"
+    for fw in frameworks:
+        summary += f" {geomean(row.gflops(fw) for row in rows):>11.1f}"
+    out.write(summary + "\n")
+    if "cogent" in frameworks:
+        for fw in frameworks:
+            if fw == "cogent":
+                continue
+            gm, mx = speedup_summary(rows, over=fw)
+            out.write(
+                f"    cogent vs {fw:<10}: geomean {gm:5.2f}x, "
+                f"max {mx:5.2f}x\n"
+            )
+    return out.getvalue()
+
+
+def to_csv(
+    rows: Sequence[ComparisonRow], frameworks: Sequence[str]
+) -> str:
+    """CSV with one row per benchmark, one GFLOPS column per framework."""
+    out = io.StringIO()
+    out.write("id,name,expr," + ",".join(frameworks) + "\n")
+    for row in rows:
+        cells = [
+            str(row.benchmark.id),
+            row.benchmark.name,
+            row.benchmark.expr,
+        ]
+        cells += [f"{row.gflops(fw):.2f}" for fw in frameworks]
+        out.write(",".join(cells) + "\n")
+    return out.getvalue()
+
+
+def curve_table(curve: Sequence[float], stride: int = 10) -> str:
+    """Fig. 8-style series: best-so-far GFLOPS vs evaluated versions."""
+    lines = [f"{'versions':>9} {'best GFLOPS':>12}"]
+    for i in range(0, len(curve), stride):
+        lines.append(f"{i + 1:>9} {curve[i]:>12.1f}")
+    if (len(curve) - 1) % stride:
+        lines.append(f"{len(curve):>9} {curve[-1]:>12.1f}")
+    return "\n".join(lines)

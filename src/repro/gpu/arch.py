@@ -1,0 +1,106 @@
+"""GPU architecture descriptions used for modelling and simulation.
+
+The paper evaluates on an Nvidia Pascal P100 (56 SMs) and a Volta V100
+(80 SMs).  Since this reproduction runs without GPU hardware, these specs
+parameterise the analytical performance simulator
+(:mod:`repro.gpu.simulator`) and the pruning constraints
+(:mod:`repro.core.constraints`).
+
+All capacities are per-SM unless stated otherwise.  Numbers are the
+published specifications of the SXM2 parts used in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class GpuArch:
+    """Static description of a CUDA-capable GPU."""
+
+    name: str
+    num_sms: int
+    warp_size: int
+    # SM clock in GHz (boost clock; used to convert cycles to time).
+    clock_ghz: float
+    # Peak arithmetic throughput in GFLOP/s.
+    peak_gflops_dp: float
+    peak_gflops_sp: float
+    # Peak DRAM bandwidth in GB/s.
+    dram_bandwidth_gbs: float
+    # Shared memory capacity.
+    shared_mem_per_sm: int
+    shared_mem_per_block: int
+    # Register file: 32-bit registers.
+    registers_per_sm: int
+    max_registers_per_thread: int
+    # Thread limits.
+    max_threads_per_sm: int
+    max_threads_per_block: int
+    max_blocks_per_sm: int
+    # Global memory transaction granularity in bytes (128 B, aligned).
+    transaction_bytes: int = 128
+    l2_cache_bytes: int = 4 * 1024 * 1024
+
+    def peak_gflops(self, dtype_bytes: int) -> float:
+        """Peak GFLOP/s for the given element width (8 = DP, 4 = SP)."""
+        return self.peak_gflops_dp if dtype_bytes == 8 else self.peak_gflops_sp
+
+    @property
+    def max_warps_per_sm(self) -> int:
+        return self.max_threads_per_sm // self.warp_size
+
+
+#: Nvidia Tesla P100 (SXM2, GP100): 56 SMs, 5.3 TF DP, 732 GB/s HBM2.
+PASCAL_P100 = GpuArch(
+    name="P100",
+    num_sms=56,
+    warp_size=32,
+    clock_ghz=1.48,
+    peak_gflops_dp=5300.0,
+    peak_gflops_sp=10600.0,
+    dram_bandwidth_gbs=732.0,
+    shared_mem_per_sm=64 * 1024,
+    shared_mem_per_block=48 * 1024,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    max_threads_per_sm=2048,
+    max_threads_per_block=1024,
+    max_blocks_per_sm=32,
+    l2_cache_bytes=4 * 1024 * 1024,
+)
+
+#: Nvidia Tesla V100 (SXM2, GV100): 80 SMs, 7.8 TF DP, 900 GB/s HBM2.
+VOLTA_V100 = GpuArch(
+    name="V100",
+    num_sms=80,
+    warp_size=32,
+    clock_ghz=1.53,
+    peak_gflops_dp=7800.0,
+    peak_gflops_sp=15700.0,
+    dram_bandwidth_gbs=900.0,
+    shared_mem_per_sm=96 * 1024,
+    shared_mem_per_block=96 * 1024,
+    registers_per_sm=65536,
+    max_registers_per_thread=255,
+    max_threads_per_sm=2048,
+    max_threads_per_block=1024,
+    max_blocks_per_sm=32,
+    l2_cache_bytes=6 * 1024 * 1024,
+)
+
+ARCHS: Dict[str, GpuArch] = {
+    "P100": PASCAL_P100,
+    "V100": VOLTA_V100,
+}
+
+
+def get_arch(name: str) -> GpuArch:
+    """Look up a named architecture (case-insensitive)."""
+    try:
+        return ARCHS[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(ARCHS))
+        raise KeyError(f"unknown GPU architecture {name!r}; known: {known}")

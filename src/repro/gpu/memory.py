@@ -1,0 +1,234 @@
+"""Warp-level global-memory transaction counting from address traces.
+
+This module is the *ground truth* the analytical cost model
+(:mod:`repro.core.costmodel`) is validated against.  It replays exactly
+the addresses the generated kernels issue:
+
+* **Input loads**: each staged tile is flattened in the tensor's own
+  storage order and loaded cooperatively — thread ``tid`` handles flat
+  elements ``tid, tid + nthreads, ...``.  For every load iteration, each
+  warp (32 consecutive ``tid``) touches some set of aligned 128-byte
+  lines; every distinct line is one transaction.  Out-of-bounds lanes are
+  predicated off and issue no transaction.
+* **Output stores**: each thread stores its ``REG_x x REG_y`` accumulator
+  elements with one instruction per register element; transactions are
+  counted per warp per instruction the same way.
+
+Counting every block of a large kernel is exact but slow, so
+:func:`count_transactions` can sample one interior (full-tile) block and
+one step and scale up; tests use ``exact=True`` on small problems.
+
+When the emitters vectorise a staging load (``double2``/``float4``),
+thread-to-element ownership changes but each warp iteration still
+touches the same contiguous span of lines, so the counts below remain
+valid for the vectorised kernels as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..core.ir import TensorRef
+from ..core.plan import KernelPlan
+
+TRANSACTION_BYTES = 128
+WARP_SIZE = 32
+
+
+@dataclass(frozen=True)
+class MeasuredTransactions:
+    """Transaction counts observed from replayed addresses."""
+
+    load_a: int
+    load_b: int
+    store_c: int
+
+    @property
+    def total(self) -> int:
+        return self.load_a + self.load_b + self.store_c
+
+    @property
+    def bytes(self) -> int:
+        return self.total * TRANSACTION_BYTES
+
+
+def _count_warp_lines(
+    issue_ids: np.ndarray, addresses: np.ndarray, valid: np.ndarray
+) -> int:
+    """Distinct (issue, warp, 128B-line) triples among valid lanes."""
+    if not valid.any():
+        return 0
+    lines = addresses[valid] // TRANSACTION_BYTES
+    issues = issue_ids[valid]
+    # Pack (issue, line) into one integer key for np.unique.
+    span = int(lines.max()) + 1
+    keys = issues.astype(np.int64) * span + lines.astype(np.int64)
+    return int(np.unique(keys).size)
+
+
+class TransactionCounter:
+    """Replays generated-kernel addressing for one plan."""
+
+    def __init__(self, plan: KernelPlan) -> None:
+        self.plan = plan
+        self.dtype_bytes = plan.dtype_bytes
+        contraction = plan.contraction
+        self._strides = {
+            tensor.name: contraction.strides_of(tensor)
+            for tensor in (contraction.a, contraction.b, contraction.c)
+        }
+
+    # -- input loads ---------------------------------------------------------
+
+    def load_transactions(
+        self, tensor: TensorRef, block_id: int, step_id: int
+    ) -> int:
+        """Transactions to stage one tile of an input tensor."""
+        plan = self.plan
+        axes = plan.tensor_tile_axes(tensor)
+        tiles = [a.tile for a in axes]
+        extents = [a.extent for a in axes]
+        strides = self._strides[tensor.name]
+        offsets = self._tile_offsets(tensor, block_id, step_id)
+
+        n_elems = int(np.prod(tiles)) if tiles else 1
+        nthreads = plan.threads_per_block
+        flats = np.arange(n_elems, dtype=np.int64)
+        tid = flats % nthreads
+        iteration = flats // nthreads
+        warp = tid // WARP_SIZE
+        n_warps = -(-nthreads // WARP_SIZE)
+        issue_ids = iteration * n_warps + warp
+
+        addr = np.zeros(n_elems, dtype=np.int64)
+        valid = np.ones(n_elems, dtype=bool)
+        rem = flats
+        for tile, extent, stride, offset in zip(
+            tiles, extents, strides, offsets
+        ):
+            coord = rem % tile
+            rem = rem // tile
+            global_idx = coord + offset
+            valid &= global_idx < extent
+            addr += global_idx * stride
+        addr *= self.dtype_bytes
+        return _count_warp_lines(issue_ids, addr, valid)
+
+    # -- output stores ----------------------------------------------------------
+
+    def store_transactions(self, block_id: int) -> int:
+        """Transactions to write one block's output tile."""
+        plan = self.plan
+        contraction = plan.contraction
+        c = contraction.c
+        strides = dict(zip(c.indices, self._strides[c.name]))
+        extents = {i: contraction.extent(i) for i in c.indices}
+        offsets = plan.block_offsets(block_id)
+
+        nthreads = plan.threads_per_block
+        tid = np.arange(nthreads, dtype=np.int64)
+        x = tid % plan.tb_x
+        y = tid // plan.tb_x
+        warp = tid // WARP_SIZE
+        n_warps = -(-nthreads // WARP_SIZE)
+
+        from ..core.mapping import Dim
+
+        def local_coords(flat: np.ndarray, dim_entries) -> Dict[str, np.ndarray]:
+            coords = {}
+            rem = flat
+            for m in dim_entries:
+                coords[m.index] = rem % m.tile
+                rem = rem // m.tile
+            return coords
+
+        tbx_entries = plan.config.by_dim(Dim.TB_X)
+        tby_entries = plan.config.by_dim(Dim.TB_Y)
+        regx_entries = plan.config.by_dim(Dim.REG_X)
+        regy_entries = plan.config.by_dim(Dim.REG_Y)
+
+        base_coords: Dict[str, np.ndarray] = {}
+        base_coords.update(local_coords(x, tbx_entries))
+        base_coords.update(local_coords(y, tby_entries))
+
+        total = 0
+        issue = 0
+        for ry in range(plan.reg_y):
+            ry_coords = local_coords(np.int64(ry), regy_entries)
+            for rx in range(plan.reg_x):
+                rx_coords = local_coords(np.int64(rx), regx_entries)
+                addr = np.zeros(nthreads, dtype=np.int64)
+                valid = np.ones(nthreads, dtype=bool)
+                for index in c.indices:
+                    if index in base_coords:
+                        coord = base_coords[index]
+                    elif index in rx_coords:
+                        coord = rx_coords[index]
+                    elif index in ry_coords:
+                        coord = ry_coords[index]
+                    else:
+                        coord = np.int64(0)  # GRID-mapped: tile 1
+                    global_idx = coord + offsets[index]
+                    valid &= global_idx < extents[index]
+                    addr += global_idx * strides[index]
+                addr *= self.dtype_bytes
+                total += _count_warp_lines(
+                    issue * n_warps + warp, addr, valid
+                )
+                issue += 1
+        return total
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _tile_offsets(
+        self, tensor: TensorRef, block_id: int, step_id: int
+    ) -> Tuple[int, ...]:
+        plan = self.plan
+        block = plan.block_offsets(block_id)
+        step = plan.step_offsets(step_id)
+        offsets = []
+        for index in tensor.indices:
+            if index in block:
+                offsets.append(block[index])
+            else:
+                offsets.append(step[index])
+        return tuple(offsets)
+
+
+def count_transactions(
+    plan: KernelPlan, exact: bool = False
+) -> MeasuredTransactions:
+    """Count the kernel's global-memory transactions.
+
+    With ``exact=True`` every block and step is replayed.  Otherwise a
+    single interior block/step is replayed and scaled by the block and
+    step counts — exact whenever tiles divide extents evenly.
+    """
+    counter = TransactionCounter(plan)
+    contraction = plan.contraction
+    if exact:
+        load_a = load_b = store_c = 0
+        for block in range(plan.num_blocks):
+            store_c += counter.store_transactions(block)
+            for step in range(plan.num_steps):
+                load_a += counter.load_transactions(
+                    contraction.a, block, step
+                )
+                load_b += counter.load_transactions(
+                    contraction.b, block, step
+                )
+        return MeasuredTransactions(load_a, load_b, store_c)
+
+    load_a = (
+        counter.load_transactions(contraction.a, 0, 0)
+        * plan.num_blocks * plan.num_steps
+    )
+    load_b = (
+        counter.load_transactions(contraction.b, 0, 0)
+        * plan.num_blocks * plan.num_steps
+    )
+    store_c = counter.store_transactions(0) * plan.num_blocks
+    return MeasuredTransactions(load_a, load_b, store_c)

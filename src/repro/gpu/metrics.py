@@ -1,0 +1,157 @@
+"""Profiler-style metric reports for simulated kernels.
+
+Summarises one kernel launch the way ``nvprof``/``ncu`` would: achieved
+occupancy, DRAM throughput and utilisation, FLOP efficiency, shared-
+memory pressure, load-balance (wave) efficiency, and the arithmetic
+intensity vs the machine's roofline ridge point.  Everything derives
+from the analytical simulator's resource accounting, so the report also
+explains *why* the simulator chose the limiter it did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.costmodel import CostModel
+from ..core.plan import KernelPlan, ceil_div
+from .arch import GpuArch
+from .occupancy import compute_occupancy
+from .simulator import GpuSimulator, ModelParams, SimulationResult
+
+
+@dataclass(frozen=True)
+class KernelMetrics:
+    """Derived metrics of one simulated kernel launch."""
+
+    arch: str
+    time_s: float
+    gflops: float
+    flop_efficiency: float        # fraction of peak FLOP rate
+    dram_gbs: float               # achieved DRAM throughput
+    dram_utilization: float       # fraction of peak bandwidth
+    achieved_occupancy: float
+    blocks_per_sm: int
+    occupancy_limiter: str
+    wave_efficiency: float        # last-wave fill
+    arithmetic_intensity: float   # flops / DRAM byte moved
+    ridge_intensity: float        # machine ridge point (flops/byte)
+    bound: str                    # simulator's limiter
+
+    def report(self) -> str:
+        side = (
+            "compute-bound region" if
+            self.arithmetic_intensity >= self.ridge_intensity
+            else "memory-bound region"
+        )
+        lines = [
+            f"kernel metrics on {self.arch}:",
+            f"  duration            {self.time_s * 1e6:10.1f} us",
+            f"  throughput          {self.gflops:10.1f} GFLOP/s "
+            f"({self.flop_efficiency * 100:.1f}% of peak)",
+            f"  DRAM throughput     {self.dram_gbs:10.1f} GB/s "
+            f"({self.dram_utilization * 100:.1f}% of peak)",
+            f"  achieved occupancy  {self.achieved_occupancy * 100:10.1f} %"
+            f" ({self.blocks_per_sm} blocks/SM, limited by "
+            f"{self.occupancy_limiter})",
+            f"  wave efficiency     {self.wave_efficiency * 100:10.1f} %",
+            f"  arithmetic intensity {self.arithmetic_intensity:9.2f} "
+            f"flop/B (ridge {self.ridge_intensity:.2f}: {side})",
+            f"  bound by            {self.bound:>10}",
+        ]
+        return "\n".join(lines)
+
+
+def collect_metrics(
+    plan: KernelPlan,
+    arch: GpuArch,
+    params: Optional[ModelParams] = None,
+    simulated: Optional[SimulationResult] = None,
+) -> KernelMetrics:
+    """Compute the metric set for ``plan`` on ``arch``."""
+    simulator = GpuSimulator(arch, params)
+    if simulated is None:
+        simulated = simulator.simulate(plan)
+    occ = compute_occupancy(
+        arch,
+        plan.threads_per_block,
+        plan.smem_bytes,
+        plan.config.registers_per_thread(plan.dtype_bytes),
+    )
+    traffic = CostModel(
+        plan.dtype_bytes, arch.transaction_bytes
+    ).estimate(plan, clipped=True)
+    peak = arch.peak_gflops(plan.dtype_bytes)
+    dram_gbs = traffic.bytes / simulated.time_s / 1e9
+    blocks_per_wave = max(1, occ.blocks_per_sm * arch.num_sms)
+    waves = max(1, ceil_div(plan.num_blocks, blocks_per_wave))
+    wave_eff = plan.num_blocks / (waves * blocks_per_wave)
+    intensity = plan.flops / max(traffic.bytes, 1)
+    ridge = peak / arch.dram_bandwidth_gbs
+    return KernelMetrics(
+        arch=arch.name,
+        time_s=simulated.time_s,
+        gflops=simulated.gflops,
+        flop_efficiency=simulated.gflops / peak,
+        dram_gbs=dram_gbs,
+        dram_utilization=dram_gbs / arch.dram_bandwidth_gbs,
+        achieved_occupancy=occ.fraction,
+        blocks_per_sm=occ.blocks_per_sm,
+        occupancy_limiter=occ.limiter,
+        wave_efficiency=wave_eff,
+        arithmetic_intensity=intensity,
+        ridge_intensity=ridge,
+        bound=simulated.limiter,
+    )
+
+
+def roofline_chart(
+    metrics_list: List[KernelMetrics], width: int = 56, height: int = 12
+) -> str:
+    """An ASCII log-log roofline with one marker per kernel."""
+    import math
+
+    if not metrics_list:
+        return "(no kernels)"
+    ridge = metrics_list[0].ridge_intensity
+    peak = max(m.gflops / max(m.flop_efficiency, 1e-9)
+               for m in metrics_list)
+    bw = peak / ridge
+    x_min = min(
+        [m.arithmetic_intensity for m in metrics_list] + [ridge / 8]
+    ) / 2
+    x_max = max(
+        [m.arithmetic_intensity for m in metrics_list] + [ridge * 8]
+    ) * 2
+    y_min = min(m.gflops for m in metrics_list) / 4
+    y_max = peak * 2
+
+    def col(x: float) -> int:
+        frac = (math.log(x) - math.log(x_min)) / (
+            math.log(x_max) - math.log(x_min)
+        )
+        return min(width - 1, max(0, int(frac * (width - 1))))
+
+    def row(y: float) -> int:
+        frac = (math.log(y) - math.log(y_min)) / (
+            math.log(y_max) - math.log(y_min)
+        )
+        return min(height - 1, max(0, int((1 - frac) * (height - 1))))
+
+    grid = [[" "] * width for _ in range(height)]
+    for c in range(width):
+        x = math.exp(
+            math.log(x_min)
+            + c / (width - 1) * (math.log(x_max) - math.log(x_min))
+        )
+        roof = min(peak, bw * x)
+        grid[row(roof)][c] = "_" if roof >= peak else "/"
+    markers = "123456789"
+    for pos, m in enumerate(metrics_list):
+        grid[row(max(m.gflops, y_min))][col(m.arithmetic_intensity)] = \
+            markers[pos % len(markers)]
+    lines = ["roofline (log-log): GFLOP/s vs flop/byte"]
+    for r in range(height):
+        lines.append("  |" + "".join(grid[r]))
+    lines.append("  +" + "-" * width)
+    return "\n".join(lines)

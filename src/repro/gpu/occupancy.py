@@ -1,0 +1,71 @@
+"""Occupancy calculation for thread blocks on an SM.
+
+Mirrors the CUDA occupancy calculator at the granularity the paper's
+pruning rules need: how many blocks of a given shape fit on one SM
+concurrently, limited by threads, shared memory, registers, and the
+per-SM block limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .arch import GpuArch
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Concurrent residency of one kernel's blocks on an SM."""
+
+    blocks_per_sm: int
+    threads_per_block: int
+    max_threads_per_sm: int
+    limiter: str
+
+    @property
+    def active_threads(self) -> int:
+        return self.blocks_per_sm * self.threads_per_block
+
+    @property
+    def fraction(self) -> float:
+        """Occupancy as a fraction of the SM's maximum resident threads."""
+        if self.max_threads_per_sm == 0:
+            return 0.0
+        return min(1.0, self.active_threads / self.max_threads_per_sm)
+
+
+def compute_occupancy(
+    arch: GpuArch,
+    threads_per_block: int,
+    smem_bytes_per_block: int,
+    registers_per_thread: int,
+) -> Occupancy:
+    """Blocks per SM and occupancy for a block shape on ``arch``.
+
+    Returns an :class:`Occupancy` with ``blocks_per_sm == 0`` when the
+    block cannot run at all (exceeds a per-block hardware limit).
+    """
+    if threads_per_block > arch.max_threads_per_block:
+        return Occupancy(0, threads_per_block, arch.max_threads_per_sm,
+                         "threads_per_block")
+    if smem_bytes_per_block > arch.shared_mem_per_block:
+        return Occupancy(0, threads_per_block, arch.max_threads_per_sm,
+                         "shared_memory_per_block")
+    if registers_per_thread > arch.max_registers_per_thread:
+        return Occupancy(0, threads_per_block, arch.max_threads_per_sm,
+                         "registers_per_thread")
+
+    limits = {
+        "max_blocks": arch.max_blocks_per_sm,
+        "threads": arch.max_threads_per_sm // max(1, threads_per_block),
+    }
+    if smem_bytes_per_block > 0:
+        limits["shared_memory"] = arch.shared_mem_per_sm // smem_bytes_per_block
+    regs_per_block = registers_per_thread * threads_per_block
+    if regs_per_block > 0:
+        limits["registers"] = arch.registers_per_sm // regs_per_block
+
+    limiter = min(limits, key=lambda k: limits[k])
+    blocks = limits[limiter]
+    return Occupancy(blocks, threads_per_block, arch.max_threads_per_sm,
+                     limiter)

@@ -1,0 +1,24 @@
+"""The TCCG tensor-contraction benchmark suite (48 entries)."""
+
+from .groups import GROUPS, GroupInfo
+from .suite import (
+    BENCHMARKS,
+    Benchmark,
+    SD2_1,
+    SD2_SUBSET,
+    all_benchmarks,
+    by_group,
+    get,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "Benchmark",
+    "GROUPS",
+    "GroupInfo",
+    "SD2_1",
+    "SD2_SUBSET",
+    "all_benchmarks",
+    "by_group",
+    "get",
+]

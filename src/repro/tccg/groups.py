@@ -1,0 +1,44 @@
+"""Group metadata for the TCCG suite (paper Figs. 4-5 orderings)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class GroupInfo:
+    """Descriptive metadata for one benchmark group."""
+
+    key: str
+    title: str
+    paper_range: Tuple[int, int]
+    description: str
+
+
+GROUPS: Dict[str, GroupInfo] = {
+    "ml": GroupInfo(
+        "ml",
+        "Tensor-matrix multiplication (machine learning)",
+        (1, 8),
+        "Mode-n tensor-times-matrix products and MLP reshapes.",
+    ),
+    "mo": GroupInfo(
+        "mo",
+        "AO-to-MO integral transforms",
+        (9, 11),
+        "Four-index two-electron-integral basis transformations.",
+    ),
+    "ccsd": GroupInfo(
+        "ccsd",
+        "CCSD coupled-cluster contractions",
+        (12, 30),
+        "Doubles-amplitude terms; 12 and 20-30 are 4D = 4D * 4D.",
+    ),
+    "ccsd_t": GroupInfo(
+        "ccsd_t",
+        "CCSD(T) triples kernels",
+        (31, 48),
+        "NWChem sd_t_d1_1..9 and sd_t_d2_1..9 6D = 4D * 4D kernels.",
+    ),
+}

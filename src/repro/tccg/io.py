@@ -1,0 +1,87 @@
+"""Reading and writing benchmark definition files.
+
+COGENT's artifact ships its benchmark inputs as plain-text "input
+string" files (``./cogent/input_strings/tccg``).  This module supports
+the same round-trippable format:
+
+    # comment
+    <name> <compact-expr> <index>=<extent>[,<index>=<extent>...] [group]
+
+e.g. ::
+
+    sd_t_d2_1 abcdef-gdab-efgc a=24,b=24,c=24,d=24,e=24,f=24,g=24 ccsd_t
+
+Lines with a bare integer in the size column apply it to every index.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from ..core.parser import parse_compact, parse_size_spec, resolve_sizes
+from .suite import Benchmark
+
+
+class SuiteFormatError(ValueError):
+    """Raised for malformed benchmark definition files."""
+
+
+def parse_line(line: str, number: int, next_id: int) -> Benchmark:
+    fields = line.split()
+    if len(fields) not in (3, 4):
+        raise SuiteFormatError(
+            f"line {number}: expected 'name expr sizes [group]', "
+            f"got {line!r}"
+        )
+    name, expr = fields[0], fields[1]
+    group = fields[3] if len(fields) == 4 else "custom"
+    try:
+        sizes_arg = parse_size_spec(fields[2])
+        indices = tuple(dict.fromkeys(expr.replace("-", "")))
+        sizes = resolve_sizes(indices, sizes_arg)
+        parse_compact(expr, sizes)  # structural validation
+    except ValueError as exc:
+        raise SuiteFormatError(f"line {number}: {exc}") from exc
+    return Benchmark(next_id, name, expr, sizes, group)
+
+
+def loads(text: str) -> List[Benchmark]:
+    """Parse a benchmark definition document."""
+    benchmarks: List[Benchmark] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        benchmarks.append(parse_line(line, number, len(benchmarks) + 1))
+    return benchmarks
+
+
+def load(path: Union[str, Path]) -> List[Benchmark]:
+    """Load benchmarks from a definition file."""
+    return loads(Path(path).read_text())
+
+
+def dumps(benchmarks: Iterable[Benchmark]) -> str:
+    """Serialise benchmarks back to the definition format."""
+    lines = ["# COGENT-repro benchmark definitions", ""]
+    for bench in benchmarks:
+        sizes = ",".join(f"{k}={v}" for k, v in bench.sizes.items())
+        lines.append(f"{bench.name} {bench.expr} {sizes} {bench.group}")
+    return "\n".join(lines) + "\n"
+
+
+def dump(benchmarks: Iterable[Benchmark], path: Union[str, Path]) -> None:
+    """Write benchmarks to a definition file."""
+    Path(path).write_text(dumps(benchmarks))
+
+
+def shipped_definition_path() -> Path:
+    """Path of the definition file shipped with the package
+    (mirrors the COGENT artifact's ``input_strings/tccg``)."""
+    return Path(__file__).parent / "data" / "tccg48.txt"
+
+
+def load_shipped() -> List[Benchmark]:
+    """Load the packaged 48-entry definition file."""
+    return load(shipped_definition_path())

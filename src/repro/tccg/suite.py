@@ -1,0 +1,258 @@
+"""The 48-contraction TCCG benchmark suite (Springer & Bientinesi).
+
+The paper evaluates on TCCG v0.1, whose entries the paper groups as
+(Section V, Figs. 4-5):
+
+* **1-8**  — tensor-matrix multiplications from machine learning,
+* **9-11** — AO-to-MO two-electron-integral transforms,
+* **12-30** — 19 contractions from the CCSD coupled-cluster method
+  (the 12th and 20th-30th are ``4D = 4D * 4D``),
+* **31-48** — 18 contractions from the CCSD(T) triples correction: the
+  nine NWChem ``sd_t_d1`` kernels (contraction over an occupied index)
+  and the nine ``sd_t_d2`` kernels (over a virtual index), which differ
+  in the permutation of the 6D output.  Entry 40 is the paper's SD2_1
+  (``abcdef-gdab-efgc``, Fig. 8).
+
+The paper itself prints only the group structure, not all 48 strings, so
+entries are reconstructed from the cited applications: mode-n tensor-
+times-matrix products, the standard four-index integral transform,
+canonical CCSD doubles terms, and the documented NWChem triples-kernel
+permutation families (generated programmatically below).  Extents follow
+TCCG's convention of a representative problem size per contraction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
+
+from ..core.ir import Contraction
+from ..core.parser import parse_compact
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One TCCG suite entry."""
+
+    id: int
+    name: str
+    expr: str
+    sizes: Dict[str, int]
+    group: str
+
+    def contraction(self) -> Contraction:
+        """Instantiate the contraction at its representative size."""
+        return parse_compact(self.expr, self.sizes)
+
+    def scaled(self, factor: float) -> Contraction:
+        """The same contraction with every extent scaled by ``factor``."""
+        sizes = {
+            k: max(1, int(round(v * factor))) for k, v in self.sizes.items()
+        }
+        return parse_compact(self.expr, sizes)
+
+    @property
+    def flops(self) -> int:
+        return self.contraction().flops
+
+    def __str__(self) -> str:
+        return f"[{self.id:2d}] {self.name:<14s} {self.expr}"
+
+
+def _sizes(expr: str, **extents: int) -> Dict[str, int]:
+    """Size dict for every index in a compact expression."""
+    indices = sorted(set(expr.replace("-", "")))
+    missing = [i for i in indices if i not in extents]
+    if missing:
+        raise ValueError(f"sizes missing for {missing} in {expr!r}")
+    return {i: extents[i] for i in indices}
+
+
+# --------------------------------------------------------------------------
+# Groups 1-8: tensor-matrix multiplications (machine learning workloads).
+# --------------------------------------------------------------------------
+
+_ML: List[Tuple[str, str, Dict[str, int]]] = [
+    ("ttm_mode2", "abc-adc-bd",
+     _sizes("abc-adc-bd", a=312, b=296, c=312, d=312)),
+    ("ttm_mode2_t", "abc-adc-db",
+     _sizes("abc-adc-db", a=312, b=296, c=312, d=312)),
+    ("ttm_mode1", "abc-dca-bd",
+     _sizes("abc-dca-bd", a=312, b=296, c=312, d=312)),
+    ("ttm_mode3", "abc-acd-db",
+     _sizes("abc-acd-db", a=312, b=296, c=312, d=312)),
+    ("ttm_mode3_t", "abc-abd-dc",
+     _sizes("abc-abd-dc", a=312, b=296, c=312, d=312)),
+    ("ttm_mode1_t", "abc-dba-cd",
+     _sizes("abc-dba-cd", a=312, b=296, c=312, d=312)),
+    ("ttm_4d", "abcd-ebad-ce",
+     _sizes("abcd-ebad-ce", a=72, b=72, c=72, d=72, e=72)),
+    ("ttm_5d", "abcde-efbad-cf",
+     _sizes("abcde-efbad-cf", a=48, b=48, c=48, d=48, e=48, f=48)),
+]
+
+# --------------------------------------------------------------------------
+# Groups 9-11: AO -> MO two-electron-integral transforms.
+# --------------------------------------------------------------------------
+
+_MO: List[Tuple[str, str, Dict[str, int]]] = [
+    ("mo_stage1", "abcd-ebcd-ae",
+     _sizes("abcd-ebcd-ae", a=72, b=72, c=72, d=72, e=72)),
+    ("mo_stage2", "abcd-aecd-be",
+     _sizes("abcd-aecd-be", a=72, b=72, c=72, d=72, e=72)),
+    ("mo_stage3", "abcd-abed-ce",
+     _sizes("abcd-abed-ce", a=72, b=72, c=72, d=72, e=72)),
+]
+
+# --------------------------------------------------------------------------
+# Groups 12-30: CCSD contractions.  Virtual extents ~64, occupied ~24.
+# --------------------------------------------------------------------------
+
+_CCSD_4D_SIZES = dict(a=64, b=64, c=64, d=64, e=24, f=24)
+
+_CCSD: List[Tuple[str, str, Dict[str, int]]] = [
+    # 12: the paper's running example, Eq. 1 (4D = 4D * 4D).
+    ("ccsd_eq1", "abcd-aebf-dfce", dict(_CCSD_4D_SIZES)),
+    # 13-16: one-index transforms of a doubles amplitude.
+    ("ccsd_mx1", "abcd-ea-ebcd",
+     _sizes("abcd-ea-ebcd", a=64, b=64, c=64, d=64, e=64)),
+    ("ccsd_mx2", "abcd-eb-aecd",
+     _sizes("abcd-eb-aecd", a=64, b=64, c=64, d=64, e=64)),
+    ("ccsd_mx3", "abcd-ec-abed",
+     _sizes("abcd-ec-abed", a=64, b=64, c=64, d=64, e=64)),
+    ("ccsd_mx4", "abcd-ed-abce",
+     _sizes("abcd-ed-abce", a=64, b=64, c=64, d=64, e=64)),
+    # 17-18: particle-ladder style terms.
+    ("ccsd_vt2_1", "abcd-aebc-de",
+     _sizes("abcd-aebc-de", a=64, b=64, c=64, d=64, e=64)),
+    ("ccsd_vt2_2", "abcd-feac-bdef",
+     _sizes("abcd-feac-bdef", a=64, b=64, c=64, d=64, e=24, f=24)),
+    # 19: a ladder-type doubles term.
+    ("ccsd_lad", "abcd-aecf-bfde", dict(_CCSD_4D_SIZES)),
+    # 20-30: 4D = 4D * 4D doubles terms with varying index orders.
+    ("ccsd_t2_1", "abcd-aebf-cedf", dict(_CCSD_4D_SIZES)),
+    ("ccsd_t2_2", "abcd-aebf-cfed", dict(_CCSD_4D_SIZES)),
+    ("ccsd_t2_3", "abcd-eafb-cedf", dict(_CCSD_4D_SIZES)),
+    ("ccsd_t2_4", "abcd-eafb-dfce", dict(_CCSD_4D_SIZES)),
+    ("ccsd_t2_5", "abcd-feab-cdef", dict(_CCSD_4D_SIZES)),
+    ("ccsd_t2_6", "abcd-aefb-fced", dict(_CCSD_4D_SIZES)),
+    ("ccsd_t2_7", "abcd-abef-efcd", dict(_CCSD_4D_SIZES)),
+    ("ccsd_t2_8", "abcd-abef-cdef", dict(_CCSD_4D_SIZES)),
+    ("ccsd_t2_9", "abcd-efab-efcd", dict(_CCSD_4D_SIZES)),
+    ("ccsd_t2_10", "abcd-eafb-cfde", dict(_CCSD_4D_SIZES)),
+    ("ccsd_t2_11", "abcd-faeb-fdec", dict(_CCSD_4D_SIZES)),
+]
+
+# --------------------------------------------------------------------------
+# Groups 31-48: CCSD(T) triples kernels (NWChem sd_t_d1_* / sd_t_d2_*).
+#
+# Output letters: a,b,c are occupied (h3,h2,h1), d,e,f virtual (p6,p5,p4);
+# g is the contraction index (h7 for d1, p7 for d2).  The nine variants of
+# each family are the output-permutation kernels NWChem generates.
+# --------------------------------------------------------------------------
+
+_CCSDT_EXTENT = 24
+_H = ("a", "b", "c")
+_P = ("d", "e", "f")
+
+
+def _ccsdt_sizes() -> Dict[str, int]:
+    return {i: _CCSDT_EXTENT for i in (*_H, *_P, "g")}
+
+
+def _d1_expr(p_pick: str, h_pick: str) -> str:
+    """sd_t_d1 family: contraction over an occupied index (g = h7).
+
+    A = t2[h7, p, p, h] carries two virtuals and one occupied;
+    B = v2[h, h, p, h7] carries the other two occupieds and one virtual.
+    """
+    other_p = [p for p in _P if p != p_pick]
+    other_h = [h for h in _H if h != h_pick]
+    a = "g" + "".join(reversed(other_p)) + h_pick
+    b = "".join(other_h) + p_pick + "g"
+    return f"abcdef-{a}-{b}"
+
+
+def _d2_expr(p_pick: str, h_pick: str) -> str:
+    """sd_t_d2 family: contraction over a virtual index (g = p7).
+
+    With ``p_pick='d', h_pick='c'`` this yields the paper's SD2_1
+    string ``abcdef-gdab-efgc`` (Fig. 8).
+    """
+    other_p = [p for p in _P if p != p_pick]
+    other_h = [h for h in _H if h != h_pick]
+    a = "g" + p_pick + "".join(other_h)
+    b = "".join(other_p) + "g" + h_pick
+    return f"abcdef-{a}-{b}"
+
+
+def _ccsdt_family(
+    prefix: str, builder
+) -> List[Tuple[str, str, Dict[str, int]]]:
+    entries = []
+    for number, (p_pick, h_pick) in enumerate(
+        itertools.product(_P, reversed(_H)), start=1
+    ):
+        entries.append(
+            (f"{prefix}_{number}", builder(p_pick, h_pick), _ccsdt_sizes())
+        )
+    return entries
+
+
+_CCSDT = _ccsdt_family("sd_t_d1", _d1_expr) + _ccsdt_family(
+    "sd_t_d2", _d2_expr
+)
+
+# --------------------------------------------------------------------------
+# Assembled suite.
+# --------------------------------------------------------------------------
+
+
+def _assemble() -> Tuple[Benchmark, ...]:
+    benchmarks: List[Benchmark] = []
+    groups = [
+        ("ml", _ML),
+        ("mo", _MO),
+        ("ccsd", _CCSD),
+        ("ccsd_t", _CCSDT),
+    ]
+    next_id = 1
+    for group, entries in groups:
+        for name, expr, sizes in entries:
+            benchmarks.append(Benchmark(next_id, name, expr, sizes, group))
+            next_id += 1
+    return tuple(benchmarks)
+
+
+BENCHMARKS: Tuple[Benchmark, ...] = _assemble()
+
+#: The paper's Fig. 8 benchmark.
+SD2_1 = next(b for b in BENCHMARKS if b.name == "sd_t_d2_1")
+
+#: The SD2 subset used for the Tensor Comprehensions comparison
+#: (Figs. 6-7): the first four d2 kernels, single precision.
+SD2_SUBSET: Tuple[Benchmark, ...] = tuple(
+    b for b in BENCHMARKS if b.name.startswith("sd_t_d2")
+)[:4]
+
+
+def all_benchmarks() -> Tuple[Benchmark, ...]:
+    """All 48 suite entries, in paper order."""
+    return BENCHMARKS
+
+
+def get(key: Union[int, str]) -> Benchmark:
+    """Look up a benchmark by 1-based id or by name."""
+    for bench in BENCHMARKS:
+        if bench.id == key or bench.name == key:
+            return bench
+    raise KeyError(f"no TCCG benchmark {key!r}")
+
+
+def by_group(group: str) -> Tuple[Benchmark, ...]:
+    """All entries of one group (``ml``, ``mo``, ``ccsd``, ``ccsd_t``)."""
+    found = tuple(b for b in BENCHMARKS if b.group == group)
+    if not found:
+        raise KeyError(f"no TCCG group {group!r}")
+    return found

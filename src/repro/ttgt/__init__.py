@@ -1,0 +1,26 @@
+"""TTGT baseline substrate (TAL_SH-like): transpose planning/cost,
+cuBLAS-like GEMM model, and the end-to-end pipeline."""
+
+from .gemm import GemmParams, execute_gemm, gemm_efficiency, gemm_time
+from .pipeline import TtgtPipeline, TtgtPlan
+from .transpose import (
+    TransposeParams,
+    TransposePlan,
+    execute_transpose,
+    permutation_between,
+    transpose_time,
+)
+
+__all__ = [
+    "GemmParams",
+    "TransposeParams",
+    "TransposePlan",
+    "TtgtPipeline",
+    "TtgtPlan",
+    "execute_gemm",
+    "execute_transpose",
+    "gemm_efficiency",
+    "gemm_time",
+    "permutation_between",
+    "transpose_time",
+]

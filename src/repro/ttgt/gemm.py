@@ -1,0 +1,96 @@
+"""A cuBLAS-like GEMM performance model.
+
+TTGT's compute step is a single large matrix multiplication executed by
+the vendor BLAS.  Vendor GEMM approaches peak for large, squarish
+matrices but degrades for the highly rectangular shapes TTGT produces
+when a contraction has small summation extents (the paper's motivation,
+Section II).  The model is mechanistic rather than curve-fitted:
+
+* the kernel computes in ``tile_mn x tile_mn`` output tiles, so M and N
+  are effectively padded up to tile multiples (utilisation loss for
+  skinny shapes);
+* the K loop has a fixed pipeline ramp (``k_overhead`` iterations'
+  worth), penalising small-K GEMMs;
+* too few output tiles under-fill the machine (wave quantisation);
+* runtime is never below the time to stream the padded operands through
+  DRAM once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.plan import ceil_div
+from ..gpu.arch import GpuArch
+
+
+@dataclass(frozen=True)
+class GemmParams:
+    """Calibration constants for the GEMM model."""
+
+    #: Fraction of peak a large square GEMM achieves.
+    peak_efficiency: float = 0.88
+    #: Output tile edge used by the library kernels.
+    tile_mn: int = 128
+    #: K iterations' worth of pipeline ramp-up per output tile.
+    k_overhead: int = 24
+    #: Fraction of peak DRAM bandwidth the GEMM kernel sustains.
+    memory_efficiency: float = 0.85
+    #: Fixed launch overhead in seconds.
+    launch_overhead_s: float = 5e-6
+
+
+def gemm_efficiency(
+    m: int,
+    n: int,
+    k: int,
+    num_sms: int = 80,
+    params: GemmParams = GemmParams(),
+) -> float:
+    """Fraction of peak compute achieved by an ``m x n x k`` GEMM."""
+    tiles_m = ceil_div(m, params.tile_mn)
+    tiles_n = ceil_div(n, params.tile_mn)
+    padding_utilisation = (m * n) / (
+        tiles_m * tiles_n * params.tile_mn ** 2
+    )
+    k_utilisation = k / (k + params.k_overhead)
+    n_tiles = tiles_m * tiles_n
+    waves = ceil_div(n_tiles, num_sms)
+    wave_utilisation = n_tiles / (waves * num_sms)
+    return (
+        params.peak_efficiency
+        * padding_utilisation
+        * k_utilisation
+        * wave_utilisation
+    )
+
+
+def gemm_time(
+    m: int,
+    n: int,
+    k: int,
+    arch: GpuArch,
+    dtype_bytes: int = 8,
+    params: GemmParams = GemmParams(),
+) -> float:
+    """Estimated seconds for an ``m x n x k`` GEMM on ``arch``.
+
+    Bounded below by streaming the three (padded) matrices through DRAM
+    once — tiny-K GEMMs are memory-bound, not compute-bound.
+    """
+    flops = 2.0 * m * n * k
+    eff = gemm_efficiency(m, n, k, arch.num_sms, params)
+    peak = arch.peak_gflops(dtype_bytes) * 1e9
+    compute_time = flops / (peak * max(eff, 1e-6))
+    bytes_moved = dtype_bytes * (m * k + k * n + 2 * m * n)
+    memory_time = bytes_moved / (
+        arch.dram_bandwidth_gbs * 1e9 * params.memory_efficiency
+    )
+    return max(compute_time, memory_time) + params.launch_overhead_s
+
+
+def execute_gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Numerical GEMM (numpy matmul) for the correctness path."""
+    return a @ b

@@ -1,0 +1,256 @@
+"""The TTGT pipeline: Transpose-Transpose-GEMM-Transpose.
+
+This is the reproduction's stand-in for TAL_SH (with cuTT transposes and
+cuBLAS GEMM), the framework the paper compares against.  Planning picks,
+among a small set of index orderings, the matricisation that minimises
+the summed transpose + GEMM time; execution runs the same steps with
+numpy for numerical validation.
+
+The characteristic TTGT weakness the paper exploits — transposing a huge
+output tensor dominates when the GEMM is small or skinny — emerges
+directly from the cost models in :mod:`repro.ttgt.transpose` and
+:mod:`repro.ttgt.gemm`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.ir import Contraction
+from ..gpu.arch import GpuArch
+from .gemm import GemmParams, execute_gemm, gemm_time
+from .transpose import (
+    TransposeParams,
+    TransposePlan,
+    execute_transpose,
+    permutation_between,
+    transpose_time,
+)
+
+
+@dataclass(frozen=True)
+class TtgtPlan:
+    """A chosen matricisation of one contraction."""
+
+    contraction: Contraction
+    ext_a_order: Tuple[str, ...]
+    ext_b_order: Tuple[str, ...]
+    int_order: Tuple[str, ...]
+    transpose_a: TransposePlan
+    transpose_b: TransposePlan
+    transpose_c: TransposePlan
+    time_transpose_a: float
+    time_transpose_b: float
+    time_gemm: float
+    time_transpose_c: float
+    time_host: float = 0.0
+
+    @property
+    def m(self) -> int:
+        sizes = self.contraction.sizes
+        return math.prod(sizes[i] for i in self.ext_a_order) or 1
+
+    @property
+    def n(self) -> int:
+        sizes = self.contraction.sizes
+        return math.prod(sizes[i] for i in self.ext_b_order) or 1
+
+    @property
+    def k(self) -> int:
+        sizes = self.contraction.sizes
+        return math.prod(sizes[i] for i in self.int_order) or 1
+
+    @property
+    def total_time(self) -> float:
+        return (
+            self.time_transpose_a
+            + self.time_transpose_b
+            + self.time_gemm
+            + self.time_transpose_c
+            + self.time_host
+        )
+
+    @property
+    def transpose_time(self) -> float:
+        return self.total_time - self.time_gemm
+
+    @property
+    def gflops(self) -> float:
+        return self.contraction.flops / self.total_time / 1e9
+
+    @property
+    def workspace_elements(self) -> int:
+        """Extra temporary elements TTGT allocates (the paper's space
+        overhead criticism)."""
+        extra = 0
+        if not self.transpose_a.is_identity:
+            extra += self.transpose_a.elements
+        if not self.transpose_b.is_identity:
+            extra += self.transpose_b.elements
+        if not self.transpose_c.is_identity:
+            extra += self.transpose_c.elements
+        return extra
+
+    def summary(self) -> str:
+        return (
+            f"TTGT M={self.m} N={self.n} K={self.k}  "
+            f"tA={self.time_transpose_a * 1e6:.1f}us "
+            f"tB={self.time_transpose_b * 1e6:.1f}us "
+            f"gemm={self.time_gemm * 1e6:.1f}us "
+            f"tC={self.time_transpose_c * 1e6:.1f}us  "
+            f"total={self.total_time * 1e6:.1f}us "
+            f"({self.gflops:.1f} GFLOPS)"
+        )
+
+
+class TtgtPipeline:
+    """Plans, times, and executes contractions via TTGT (TAL_SH-like)."""
+
+    def __init__(
+        self,
+        arch: GpuArch,
+        dtype_bytes: int = 8,
+        transpose_params: TransposeParams = TransposeParams(),
+        gemm_params: GemmParams = GemmParams(),
+        host_overhead_s: float = 1.5e-4,
+        optimize_orders: bool = False,
+    ) -> None:
+        self.arch = arch
+        self.dtype_bytes = dtype_bytes
+        self.transpose_params = transpose_params
+        self.gemm_params = gemm_params
+        #: Per-contraction host orchestration cost (TAL_SH tensor-block
+        #: bookkeeping, workspace allocation, stream synchronisation).
+        self.host_overhead_s = host_overhead_s
+        #: TAL_SH matricises with index groups in the order they appear in
+        #: the input tensors (``False``).  ``True`` enables a small search
+        #: over group orderings that can avoid the output transpose — a
+        #: stronger TTGT than the paper's baseline, kept as an ablation.
+        self.optimize_orders = optimize_orders
+
+    # -- planning ---------------------------------------------------------
+
+    def plan(self, contraction: Contraction) -> TtgtPlan:
+        """Pick the cheapest matricisation among candidate orderings."""
+        ext_a = contraction.externals_of(contraction.a)
+        ext_b = contraction.externals_of(contraction.b)
+        ints = contraction.internal_indices
+
+        if self.optimize_orders:
+            ext_a_orders = _unique(
+                [ext_a, _restrict(contraction.c.indices, ext_a)]
+            )
+            ext_b_orders = _unique(
+                [ext_b, _restrict(contraction.c.indices, ext_b)]
+            )
+            int_orders = _unique(
+                [ints, _restrict(contraction.b.indices, ints)]
+            )
+        else:
+            ext_a_orders = [ext_a]
+            ext_b_orders = [ext_b]
+            int_orders = [ints]
+
+        best: Optional[TtgtPlan] = None
+        for ea, eb, ii in itertools.product(
+            ext_a_orders, ext_b_orders, int_orders
+        ):
+            candidate = self._build_plan(contraction, ea, eb, ii)
+            if best is None or candidate.total_time < best.total_time:
+                best = candidate
+        assert best is not None
+        return best
+
+    def _build_plan(
+        self,
+        contraction: Contraction,
+        ext_a_order: Tuple[str, ...],
+        ext_b_order: Tuple[str, ...],
+        int_order: Tuple[str, ...],
+    ) -> TtgtPlan:
+        a, b, c = contraction.a, contraction.b, contraction.c
+        # Column-major matrices: MA[i, j] wants ext_a fastest, then ints;
+        # MB[j, k] wants ints fastest, then ext_b; MC[i, k] comes out with
+        # ext_a fastest, then ext_b.
+        ta = TransposePlan(
+            contraction.extents_of(a),
+            permutation_between(a.indices, ext_a_order + int_order),
+        )
+        tb = TransposePlan(
+            contraction.extents_of(b),
+            permutation_between(b.indices, int_order + ext_b_order),
+        )
+        mc_layout = ext_a_order + ext_b_order
+        tc = TransposePlan(
+            tuple(contraction.sizes[i] for i in mc_layout),
+            permutation_between(mc_layout, c.indices),
+        )
+        m = math.prod(contraction.sizes[i] for i in ext_a_order) or 1
+        n = math.prod(contraction.sizes[i] for i in ext_b_order) or 1
+        k = math.prod(contraction.sizes[i] for i in int_order) or 1
+        return TtgtPlan(
+            contraction=contraction,
+            ext_a_order=ext_a_order,
+            ext_b_order=ext_b_order,
+            int_order=int_order,
+            transpose_a=ta,
+            transpose_b=tb,
+            transpose_c=tc,
+            time_transpose_a=self._t_time(ta),
+            time_transpose_b=self._t_time(tb),
+            time_gemm=gemm_time(
+                m, n, k, self.arch, self.dtype_bytes, self.gemm_params
+            ),
+            time_transpose_c=self._t_time(tc),
+            time_host=self.host_overhead_s,
+        )
+
+    def _t_time(self, plan: TransposePlan) -> float:
+        return transpose_time(
+            plan, self.arch, self.dtype_bytes, self.transpose_params
+        )
+
+    # -- execution (numerical correctness path) ------------------------------
+
+    def execute(
+        self,
+        contraction: Contraction,
+        a: np.ndarray,
+        b: np.ndarray,
+        plan: Optional[TtgtPlan] = None,
+    ) -> np.ndarray:
+        """Run the planned TTGT steps numerically with numpy."""
+        if plan is None:
+            plan = self.plan(contraction)
+        a_t = execute_transpose(plan.transpose_a, a)
+        b_t = execute_transpose(plan.transpose_b, b)
+        # Logical reshape: leading group is the matrix row index.
+        ma = a_t.reshape(plan.m, plan.k)
+        mb = b_t.reshape(plan.k, plan.n)
+        mc = execute_gemm(ma, mb)
+        shaped = mc.reshape(
+            tuple(
+                contraction.sizes[i]
+                for i in plan.ext_a_order + plan.ext_b_order
+            )
+        )
+        return execute_transpose(plan.transpose_c, shaped)
+
+
+def _restrict(order: Sequence[str], subset: Sequence[str]) -> Tuple[str, ...]:
+    keep = set(subset)
+    return tuple(i for i in order if i in keep)
+
+
+def _unique(orders: Sequence[Sequence[str]]) -> List[Tuple[str, ...]]:
+    seen: List[Tuple[str, ...]] = []
+    for order in orders:
+        t = tuple(order)
+        if t not in seen:
+            seen.append(t)
+    return seen

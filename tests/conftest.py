@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro import Cogent, parse
+from repro.gpu.arch import PASCAL_P100, VOLTA_V100
+
+
+@pytest.fixture(scope="session")
+def v100():
+    return VOLTA_V100
+
+@pytest.fixture(scope="session")
+def p100():
+    return PASCAL_P100
+
+
+@pytest.fixture
+def eq1_small():
+    """The paper's Eq. 1 at a small, non-divisible size mix."""
+    return parse(
+        "abcd-aebf-dfce",
+        {"a": 7, "b": 5, "c": 6, "d": 4, "e": 3, "f": 5},
+    )
+
+
+@pytest.fixture
+def eq1_repr():
+    """Eq. 1 at a representative (benchmark-like) size."""
+    return parse("abcd-aebf-dfce", 24)
+
+
+@pytest.fixture
+def matmul():
+    """Plain matrix multiplication as a degenerate contraction."""
+    return parse("ab-ak-kb", {"a": 24, "b": 16, "k": 12})
+
+
+@pytest.fixture(scope="session")
+def cogent_v100():
+    return Cogent(arch="V100")
+
+
+def has_cc() -> bool:
+    return shutil.which("cc") is not None or shutil.which("gcc") is not None
+
+
+requires_cc = pytest.mark.skipif(
+    not has_cc(), reason="no C compiler available"
+)

@@ -1,0 +1,98 @@
+"""Tests for the CCSD(T)-style triples driver (repro.apps.ccsdt)."""
+
+import numpy as np
+import pytest
+
+from repro import Cogent
+from repro.apps.ccsdt import TriplesDriver, triples_terms
+from repro.core.parser import parse_compact
+
+
+@pytest.fixture(scope="module")
+def driver():
+    return TriplesDriver(
+        n_occupied=4, n_virtual=5,
+        generator=Cogent(arch="V100", top_k=4), seed=3,
+    )
+
+
+class TestTerms:
+    def test_eighteen_terms(self):
+        terms = triples_terms()
+        assert len(terms) == 18
+        assert sum(1 for t in terms if t.family == "d1") == 9
+
+    def test_terms_match_tccg_suite(self):
+        from repro.tccg import by_group
+
+        suite_exprs = [b.expr for b in by_group("ccsd_t")]
+        assert [t.expr for t in triples_terms()] == suite_exprs
+
+    def test_signs_alternate(self):
+        signs = [t.sign for t in triples_terms()]
+        assert set(signs) == {-1, 1}
+        # The parity pattern is balanced across each family of nine:
+        # two sign groups of sizes 4/5 (3x3 parity grid).
+        d1_signs = signs[:9]
+        assert sorted((d1_signs.count(1), d1_signs.count(-1))) == [4, 5]
+
+    def test_every_term_is_valid_contraction(self, driver):
+        for term in driver.terms:
+            c = parse_compact(term.expr, driver.sizes_for(term))
+            assert c.c.ndim == 6
+
+    def test_d1_contracts_over_occupied(self, driver):
+        d1 = next(t for t in driver.terms if t.family == "d1")
+        assert driver.sizes_for(d1)["g"] == driver.no
+
+    def test_d2_contracts_over_virtual(self, driver):
+        d2 = next(t for t in driver.terms if t.family == "d2")
+        assert driver.sizes_for(d2)["g"] == driver.nv
+
+
+class TestEvaluation:
+    def test_kernels_match_einsum_reference(self, driver):
+        via_kernels = driver.residual(use_kernels=True)
+        via_einsum = driver.residual(use_kernels=False)
+        assert np.allclose(via_kernels, via_einsum)
+
+    def test_energy_matches_reference(self, driver):
+        result = driver.energy()
+        assert result.energy == pytest.approx(driver.reference_energy(),
+                                              rel=1e-12)
+
+    def test_energy_is_negative(self, driver):
+        # Denominators are strictly negative (occupied below virtual),
+        # so the correction E = sum t3^2 / D must be negative.
+        assert driver.energy().energy < 0
+
+    def test_denominators_strictly_negative(self, driver):
+        assert (driver.denominators() < 0).all()
+
+    def test_deterministic_for_seed(self):
+        gen = Cogent(arch="V100", top_k=1)
+        e1 = TriplesDriver(4, 4, generator=gen, seed=7).energy().energy
+        e2 = TriplesDriver(4, 4, generator=gen, seed=7).energy().energy
+        assert e1 == e2
+
+    def test_different_seeds_differ(self):
+        gen = Cogent(arch="V100", top_k=1)
+        e1 = TriplesDriver(4, 4, generator=gen, seed=1).energy().energy
+        e2 = TriplesDriver(4, 4, generator=gen, seed=2).energy().energy
+        assert e1 != e2
+
+    def test_kernels_cached(self, driver):
+        k1 = driver.kernel_for(driver.terms[0])
+        k2 = driver.kernel_for(driver.terms[0])
+        assert k1 is k2
+
+    def test_predicted_time_positive(self, driver):
+        result = driver.energy()
+        assert result.predicted_time_s > 0
+        assert len(result.per_term_gflops) == 18
+
+    def test_report_mentions_all_terms(self, driver):
+        text = driver.report()
+        assert "E(T)" in text
+        assert text.count("sd_t_d1") == 9
+        assert text.count("sd_t_d2") == 9

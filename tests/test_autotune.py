@@ -1,0 +1,144 @@
+"""Tests for the autotuning strategies (repro.autotune)."""
+
+import numpy as np
+import pytest
+
+from repro import parse
+from repro.autotune import (
+    ALL_STRATEGIES,
+    ConfigSpace,
+    Evaluator,
+    GeneticSearch,
+    HillClimb,
+    ModelDriven,
+    RandomSearch,
+    SimulatedAnnealing,
+)
+from repro.core.mapping import Dim
+
+
+@pytest.fixture
+def contraction():
+    return parse("abcd-aebf-dfce", 32)
+
+
+@pytest.fixture
+def evaluator(contraction, v100):
+    return Evaluator(contraction, v100)
+
+
+class TestConfigSpace:
+    def test_random_configs_are_valid(self, contraction):
+        space = ConfigSpace(contraction)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            space.random_config(rng).validate_for(contraction)
+
+    def test_grid_tiles_are_one(self, contraction):
+        space = ConfigSpace(contraction)
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            config = space.random_config(rng)
+            for m in config.by_dim(Dim.GRID):
+                assert m.tile == 1
+
+    def test_mutation_preserves_validity(self, contraction):
+        space = ConfigSpace(contraction)
+        rng = np.random.default_rng(2)
+        config = space.random_config(rng)
+        for _ in range(20):
+            config = space.mutate(config, rng)
+            config.validate_for(contraction)
+
+    def test_crossover_preserves_validity(self, contraction):
+        space = ConfigSpace(contraction)
+        rng = np.random.default_rng(3)
+        a = space.random_config(rng)
+        b = space.random_config(rng)
+        child = space.crossover(a, b, rng)
+        child.validate_for(contraction)
+
+    def test_neighbor_changes_at_most_one_index(self, contraction):
+        space = ConfigSpace(contraction)
+        rng = np.random.default_rng(4)
+        config = space.random_config(rng)
+        neighbor = space.neighbor(config, rng)
+        changed = [
+            m for m, n in zip(config.mappings, neighbor.mappings)
+            if (m.dim, m.tile) != (n.dim, n.tile)
+        ]
+        assert len(changed) <= 1
+
+
+class TestEvaluator:
+    def test_counts_evaluations(self, evaluator, contraction):
+        space = ConfigSpace(contraction)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            evaluator.fitness(space.random_config(rng))
+        assert evaluator.evaluations == 5
+
+    def test_cache_returns_same_value(self, evaluator, contraction):
+        space = ConfigSpace(contraction)
+        rng = np.random.default_rng(1)
+        config = space.random_config(rng)
+        assert evaluator.fitness(config) == evaluator.fitness(config)
+
+    def test_infeasible_scores_zero(self, evaluator, contraction):
+        from repro.core.mapping import config_from_spec
+
+        config = config_from_spec(
+            contraction,
+            tb_x=[("a", 32), ("b", 32)], tb_y=[("d", 32)],
+        )
+        assert evaluator.fitness(config) == 0.0
+
+
+class TestStrategies:
+    @pytest.mark.parametrize("cls", ALL_STRATEGIES,
+                             ids=lambda c: c.name)
+    def test_respects_budget(self, cls, contraction, v100):
+        evaluator = Evaluator(contraction, v100)
+        trace = cls(budget=40, seed=0).tune(evaluator)
+        assert trace.evaluations == 40
+
+    @pytest.mark.parametrize("cls", ALL_STRATEGIES,
+                             ids=lambda c: c.name)
+    def test_curve_monotone(self, cls, contraction, v100):
+        trace = cls(budget=40, seed=0).tune(Evaluator(contraction, v100))
+        assert all(b >= a for a, b in zip(trace.curve, trace.curve[1:]))
+
+    @pytest.mark.parametrize("cls", ALL_STRATEGIES,
+                             ids=lambda c: c.name)
+    def test_deterministic(self, cls, contraction, v100):
+        t1 = cls(budget=30, seed=9).tune(Evaluator(contraction, v100))
+        t2 = cls(budget=30, seed=9).tune(Evaluator(contraction, v100))
+        assert t1.curve == t2.curve
+
+    def test_finds_something_feasible(self, contraction, v100):
+        trace = RandomSearch(budget=80, seed=2).tune(
+            Evaluator(contraction, v100)
+        )
+        assert trace.best_gflops > 0
+        assert trace.best_config is not None
+
+    def test_model_driven_beats_search_at_equal_budget(
+        self, contraction, v100
+    ):
+        """The paper's thesis in one assertion."""
+        budget = 64
+        model = ModelDriven().tune(Evaluator(contraction, v100))
+        for cls in ALL_STRATEGIES:
+            search = cls(budget=budget, seed=0).tune(
+                Evaluator(contraction, v100)
+            )
+            assert model.best_gflops > search.best_gflops
+
+    def test_evaluations_to_reach(self, contraction, v100):
+        trace = SimulatedAnnealing(budget=60, seed=1).tune(
+            Evaluator(contraction, v100)
+        )
+        hit = trace.evaluations_to_reach(trace.best_gflops)
+        assert hit is not None
+        assert trace.curve[hit - 1] >= trace.best_gflops
+        assert trace.evaluations_to_reach(trace.best_gflops * 10) is None

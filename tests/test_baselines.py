@@ -1,0 +1,94 @@
+"""Tests for the NWChem and naive baselines (repro.baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.naive import contract_loops, contract_tensordot
+from repro.baselines.nwchem import NwchemGenerator
+from repro.core.mapping import Dim
+from repro.core.parser import parse
+from repro.gpu.executor import (
+    execute_plan,
+    random_operands,
+    reference_contract,
+    verify_plan,
+)
+
+
+class TestNwchem:
+    def test_generates_feasible_plan(self, v100, eq1_repr):
+        plan = NwchemGenerator(v100).generate(eq1_repr)
+        plan.config.validate_for(eq1_repr)
+        assert plan.smem_bytes <= v100.shared_mem_per_block
+
+    def test_16x16_block_shape(self, v100, eq1_repr):
+        plan = NwchemGenerator(v100).generate(eq1_repr)
+        assert plan.tb_x == 16
+        assert plan.tb_y == 16
+
+    def test_output_fvi_leads_tbx(self, v100, eq1_repr):
+        plan = NwchemGenerator(v100).generate(eq1_repr)
+        assert plan.config.indices_on(Dim.TB_X)[0] == eq1_repr.c.fvi
+
+    def test_deterministic(self, v100, eq1_repr):
+        g = NwchemGenerator(v100)
+        assert g.generate(eq1_repr).config.describe() == \
+            g.generate(eq1_repr).config.describe()
+
+    def test_numerically_correct(self, v100):
+        c = parse("abcd-aebf-dfce",
+                  {"a": 6, "b": 4, "c": 5, "d": 6, "e": 3, "f": 2})
+        plan = NwchemGenerator(v100).generate(c)
+        assert verify_plan(plan)
+
+    def test_shrinks_tbk_when_smem_tight(self, v100):
+        # Huge extents force the feasibility fallback loop to engage.
+        c = parse("abcd-aebf-dfce", 512)
+        plan = NwchemGenerator(v100).generate(c)
+        assert plan.smem_bytes <= v100.shared_mem_per_block
+
+    def test_ccsdt_kernel(self, v100):
+        c = parse("abcdef-gdab-efgc", 24)
+        plan = NwchemGenerator(v100).generate(c)
+        assert plan.threads_per_block == 256
+
+    def test_internal_fvi_staged_first(self, v100):
+        # B's FVI is internal ('f'): NWChem leads TB_k with it.
+        c = parse("abcd-aefb-fced", 64)
+        plan = NwchemGenerator(v100).generate(c)
+        assert plan.config.indices_on(Dim.TB_K)[0] == "f"
+
+
+class TestNaive:
+    @pytest.fixture
+    def small(self):
+        return parse("abc-adc-bd", {"a": 3, "b": 4, "c": 2, "d": 3})
+
+    def test_loops_match_einsum(self, small):
+        a, b = random_operands(small)
+        assert np.allclose(contract_loops(small, a, b),
+                           reference_contract(small, a, b))
+
+    def test_tensordot_matches_einsum(self, small):
+        a, b = random_operands(small)
+        assert np.allclose(contract_tensordot(small, a, b),
+                           reference_contract(small, a, b))
+
+    def test_tensordot_on_eq1(self, eq1_small):
+        a, b = random_operands(eq1_small)
+        assert np.allclose(contract_tensordot(eq1_small, a, b),
+                           reference_contract(eq1_small, a, b))
+
+    def test_loops_outer_product(self):
+        c = parse("ab-a-b", {"a": 3, "b": 2})
+        a, b = random_operands(c)
+        assert np.allclose(contract_loops(c, a, b), np.outer(a, b))
+
+    def test_three_oracles_agree(self, small):
+        """einsum, nested loops and tensordot are independent paths."""
+        a, b = random_operands(small)
+        r1 = reference_contract(small, a, b)
+        r2 = contract_loops(small, a, b)
+        r3 = contract_tensordot(small, a, b)
+        assert np.allclose(r1, r2)
+        assert np.allclose(r2, r3)

@@ -1,0 +1,127 @@
+"""Tests for kernel caching and the contract() API (repro.core.cache)."""
+
+import numpy as np
+import pytest
+
+from repro import Cogent, parse
+from repro.core.cache import (
+    KernelCache,
+    cache_key,
+    contract,
+    size_bucket,
+)
+
+
+@pytest.fixture
+def cache():
+    return KernelCache(Cogent(arch="V100", top_k=4))
+
+
+class TestSizeBucket:
+    def test_powers_of_two_fixed(self):
+        for n in (1, 2, 4, 8, 16, 64, 256):
+            assert size_bucket(n) == n
+
+    def test_rounds_to_nearest(self):
+        assert size_bucket(24) == 32  # log2(24) = 4.58 rounds up
+        assert size_bucket(20) == 16
+        assert size_bucket(48) == 64
+        assert size_bucket(3) == 4
+
+    def test_minimum_is_one(self):
+        assert size_bucket(0) == 1
+        assert size_bucket(1) == 1
+
+
+class TestCacheKey:
+    def test_same_problem_same_key(self, v100):
+        c1 = parse("ab-ak-kb", 64)
+        c2 = parse("ab-ak-kb", 64)
+        assert cache_key(c1, v100, 8) == cache_key(c2, v100, 8)
+
+    def test_nearby_sizes_share_key(self, v100):
+        c1 = parse("ab-ak-kb", 60)
+        c2 = parse("ab-ak-kb", 70)
+        assert cache_key(c1, v100, 8) == cache_key(c2, v100, 8)
+
+    def test_different_structure_differs(self, v100):
+        c1 = parse("ab-ak-kb", 64)
+        c2 = parse("ab-ka-kb", 64)
+        assert cache_key(c1, v100, 8) != cache_key(c2, v100, 8)
+
+    def test_arch_and_dtype_in_key(self, v100, p100):
+        c = parse("ab-ak-kb", 64)
+        assert cache_key(c, v100, 8) != cache_key(c, p100, 8)
+        assert cache_key(c, v100, 8) != cache_key(c, v100, 4)
+
+
+class TestKernelCache:
+    def test_miss_then_hit(self, cache):
+        c = parse("ab-ak-kb", 64)
+        k1 = cache.get(c)
+        k2 = cache.get(c)
+        assert k1 is k2
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_len(self, cache):
+        cache.get(parse("ab-ak-kb", 64))
+        cache.get(parse("ab-ak-kb", 256))
+        assert len(cache) == 2
+
+    def test_disk_persistence(self, tmp_path):
+        cache = KernelCache(
+            Cogent(arch="V100", top_k=1), directory=tmp_path
+        )
+        cache.get(parse("ab-ak-kb", 64))
+        saved = list(tmp_path.iterdir())
+        assert len(saved) == 1
+        assert (saved[0] / "kernel.cu").exists()
+        assert (saved[0] / "meta.json").exists()
+
+
+class TestContract:
+    def test_matmul(self):
+        a = np.random.default_rng(0).random((12, 7))
+        b = np.random.default_rng(1).random((7, 9))
+        assert np.allclose(contract("ab-ak-kb", a, b), a @ b)
+
+    def test_einsum_syntax(self):
+        rng = np.random.default_rng(2)
+        a = rng.random((4, 3, 5))
+        b = rng.random((3, 6))
+        got = contract("adc,db->abc", a, b)
+        assert np.allclose(got, np.einsum("adc,db->abc", a, b))
+
+    def test_eq1(self, cache):
+        rng = np.random.default_rng(3)
+        a = rng.random((6, 3, 5, 4))
+        b = rng.random((7, 4, 6, 3))
+        got = contract("abcd-aebf-dfce", a, b, cache=cache)
+        want = np.einsum("aebf,dfce->abcd", a, b)
+        assert np.allclose(got, want)
+
+    def test_bucket_reuse_still_correct(self, cache):
+        rng = np.random.default_rng(4)
+        for m, n, k in ((17, 15, 6), (15, 18, 7), (14, 16, 7)):
+            a = rng.random((m, k))
+            b = rng.random((k, n))
+            assert np.allclose(
+                contract("ab-ak-kb", a, b, cache=cache), a @ b
+            )
+        assert cache.misses == 1
+        assert cache.hits == 2
+
+    def test_single_precision(self, cache):
+        rng = np.random.default_rng(5)
+        a = rng.random((10, 6), dtype=np.float32)
+        b = rng.random((6, 8), dtype=np.float32)
+        got = contract("ab-ak-kb", a, b)
+        assert np.allclose(got, a @ b, rtol=1e-4)
+
+    def test_wrong_rank_rejected(self):
+        with pytest.raises(ValueError):
+            contract("ab-ak-kb", np.zeros((4, 4, 4)), np.zeros((4, 4)))
+
+    def test_inconsistent_extent_rejected(self):
+        with pytest.raises(ValueError):
+            contract("ab-ak-kb", np.zeros((4, 5)), np.zeros((6, 4)))

@@ -1,0 +1,93 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_gen_defaults(self):
+        args = build_parser().parse_args(["gen", "ab-ak-kb"])
+        assert args.arch == "V100"
+        assert args.emit == "cuda"
+
+
+class TestSuiteCommand:
+    def test_lists_48(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 48
+
+    def test_group_filter(self, capsys):
+        assert main(["suite", "--group", "mo"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 3
+
+
+class TestGenCommand:
+    def test_gen_expression(self, capsys):
+        assert main(["gen", "ab-ak-kb", "--sizes", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "__global__" in out
+
+    def test_gen_benchmark_name(self, capsys):
+        assert main(["gen", "ccsd_eq1"]) == 0
+        assert "__global__" in capsys.readouterr().out
+
+    def test_gen_cemu(self, capsys):
+        assert main(["gen", "ab-ak-kb", "--sizes", "64",
+                     "--emit", "cemu"]) == 0
+        assert "int main(" in capsys.readouterr().out
+
+    def test_gen_driver(self, capsys):
+        assert main(["gen", "ab-ak-kb", "--sizes", "64",
+                     "--emit", "driver"]) == 0
+        assert "cudaMalloc" in capsys.readouterr().out
+
+    def test_gen_to_file(self, tmp_path, capsys):
+        out_file = tmp_path / "kernel.cu"
+        assert main(["gen", "ab-ak-kb", "--sizes", "64",
+                     "-o", str(out_file)]) == 0
+        assert "__global__" in out_file.read_text()
+
+    def test_gen_float(self, capsys):
+        assert main(["gen", "ab-ak-kb", "--sizes", "64",
+                     "--dtype", "float"]) == 0
+        assert "float" in capsys.readouterr().out
+
+
+class TestRankCommand:
+    def test_rank(self, capsys):
+        assert main(["rank", "ab-ak-kb", "--sizes", "128",
+                     "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "configurations after pruning" in out
+        assert "GFLOPS" in out
+
+
+class TestBenchCommand:
+    def test_bench_limited(self, capsys):
+        assert main(["bench", "--group", "mo", "--limit", "1",
+                     "--frameworks", "cogent,talsh"]) == 0
+        out = capsys.readouterr().out
+        assert "mo_stage1" in out
+        assert "geomean" in out
+
+    def test_bench_csv(self, capsys):
+        assert main(["bench", "--group", "mo", "--limit", "1",
+                     "--frameworks", "cogent,talsh", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("id,name,expr,cogent,talsh")
+
+
+class TestTuneCommand:
+    def test_tune_small(self, capsys):
+        assert main(["tune", "ab-ak-kb", "--sizes", "128",
+                     "--population", "6", "--generations", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "untuned" in out
+        assert "COGENT (model-driven)" in out

@@ -1,0 +1,188 @@
+"""Structural tests for the CUDA emitter (repro.core.codegen.cuda)."""
+
+import re
+
+import pytest
+
+from repro.core.codegen.cuda import (
+    generate_cuda_kernel,
+    generate_launch_snippet,
+    kernel_param_list,
+    scalar_type,
+)
+from repro.core.codegen.driver import generate_cuda_driver
+from repro.core.mapping import config_from_spec
+from repro.core.parser import parse
+from repro.core.plan import KernelPlan
+
+
+@pytest.fixture
+def plan(eq1_repr):
+    cfg = config_from_spec(
+        eq1_repr,
+        tb_x=[("a", 16)], tb_y=[("d", 8)],
+        reg_x=[("b", 4)], reg_y=[("c", 4)],
+        tb_k=[("e", 8), ("f", 2)],
+    )
+    return KernelPlan(eq1_repr, cfg)
+
+
+@pytest.fixture
+def source(plan):
+    return generate_cuda_kernel(plan)
+
+
+def balanced(text, open_ch="{", close_ch="}"):
+    depth = 0
+    for ch in text:
+        if ch == open_ch:
+            depth += 1
+        elif ch == close_ch:
+            depth -= 1
+            if depth < 0:
+                return False
+    return depth == 0
+
+
+class TestStructure:
+    def test_braces_balanced(self, source):
+        assert balanced(source)
+
+    def test_parens_balanced(self, source):
+        assert balanced(source, "(", ")")
+
+    def test_extern_c_global(self, source):
+        assert 'extern "C" __global__ void tc_kernel' in source
+
+    def test_two_syncthreads_per_step(self, source):
+        assert source.count("__syncthreads();") == 2
+
+    def test_shared_declarations_match_plan(self, plan, source):
+        assert f"__shared__ double s_a[{plan.smem_x_elements}];" in source
+        assert f"__shared__ double s_b[{plan.smem_y_elements}];" in source
+
+    def test_register_declarations_match_plan(self, plan, source):
+        assert f"double r_c[{plan.reg_x * plan.reg_y}];" in source
+        assert f"double r_a[{plan.reg_x}];" in source
+        assert f"double r_b[{plan.reg_y}];" in source
+
+    def test_extent_parameters_for_all_indices(self, plan, source):
+        for index in plan.contraction.all_indices:
+            assert f"int n_{index}" in source
+
+    def test_strides_for_all_tensors(self, source):
+        assert "st_C_a" in source
+        assert "st_A_a" in source
+        assert "st_B_d" in source
+
+    def test_fvi_has_unit_stride(self, source):
+        assert "const long st_A_a = 1;" in source
+        assert "const long st_C_a = 1;" in source
+
+    def test_bounds_checks_present(self, source):
+        assert "g_a < n_a" in source
+
+    def test_banner_mentions_contraction(self, plan, source):
+        assert str(plan.contraction) in source
+
+    def test_pragma_unroll_in_compute(self, source):
+        assert "#pragma unroll" in source
+
+    def test_load_loops_strided_by_thread_count(self, plan, source):
+        # Each staged tensor's loop strides by threads * vector-width.
+        for tensor in (plan.contraction.a, plan.contraction.b):
+            width = plan.staging_vector_width(tensor)
+            assert f"l_ += {plan.threads_per_block * width}" in source
+
+    def test_vectorized_loads_when_legal(self, plan, source):
+        # Extent 24, tile 16 on A's FVI: double2 staging applies.
+        assert plan.staging_vector_width(plan.contraction.a) == 2
+        assert "double2" in source
+
+    def test_no_vectorization_for_odd_extents(self, eq1_small):
+        cfg = config_from_spec(
+            eq1_small, tb_x=[("a", 4)], tb_k=[("e", 2)]
+        )
+        plan = KernelPlan(eq1_small, cfg)  # extent(a) = 7, odd
+        source = generate_cuda_kernel(plan)
+        assert plan.staging_vector_width(eq1_small.a) == 1
+        assert "double2" not in source
+
+    def test_vectorization_can_be_disabled(self, plan):
+        from repro.core.codegen.cuda import _load_loop
+
+        lines = _load_loop(plan, plan.contraction.a, "s_a", "double",
+                           vectorize=False)
+        assert not any("double2" in line for line in lines)
+
+    def test_no_double_semicolons(self, source):
+        assert ";;" not in source
+
+
+class TestScalarTypes:
+    def test_double(self):
+        assert scalar_type(8) == "double"
+
+    def test_float(self):
+        assert scalar_type(4) == "float"
+
+    def test_float_kernel_uses_float(self, eq1_repr):
+        cfg = config_from_spec(
+            eq1_repr, tb_x=[("a", 16)], tb_y=[("d", 8)], tb_k=[("e", 8)]
+        )
+        source = generate_cuda_kernel(KernelPlan(eq1_repr, cfg, 4))
+        assert "float s_a" in source.replace("__shared__ ", "")
+        assert "double" not in source
+
+
+class TestParams:
+    def test_param_list_order(self, plan):
+        params = kernel_param_list(plan, "double")
+        assert params.startswith("double* __restrict__ g_C")
+        assert params.index("g_C") < params.index("g_A") < params.index("g_B")
+
+    def test_kernel_name_override(self, plan):
+        source = generate_cuda_kernel(plan, kernel_name="my_kernel")
+        assert "my_kernel" in source
+
+
+class TestLaunchSnippet:
+    def test_grid_product_over_block_axes(self, plan):
+        snippet = generate_launch_snippet(plan)
+        assert "num_blocks_" in snippet
+        assert f"dim3 block_({plan.tb_x}, {plan.tb_y});" in snippet
+
+    def test_launch_passes_all_extents(self, plan):
+        snippet = generate_launch_snippet(plan)
+        for index in plan.contraction.all_indices:
+            assert f"n_{index}" in snippet
+
+
+class TestDriver:
+    def test_driver_compilable_shape(self, plan):
+        driver = generate_cuda_driver(plan)
+        assert balanced(driver)
+        assert "int main(" in driver
+        assert "cudaMalloc" in driver
+        assert "cudaEventElapsedTime" in driver
+        assert "tc_kernel<<<" in driver
+
+    def test_driver_defaults_to_representative_extents(self, plan):
+        driver = generate_cuda_driver(plan)
+        assert ": 24;" in driver  # representative size baked as default
+
+
+class TestDeterminism:
+    def test_same_plan_same_source(self, plan):
+        assert generate_cuda_kernel(plan) == generate_cuda_kernel(plan)
+
+    def test_different_configs_differ(self, eq1_repr):
+        cfg1 = config_from_spec(
+            eq1_repr, tb_x=[("a", 16)], tb_y=[("d", 8)], tb_k=[("e", 8)]
+        )
+        cfg2 = config_from_spec(
+            eq1_repr, tb_x=[("a", 8)], tb_y=[("d", 8)], tb_k=[("e", 8)]
+        )
+        s1 = generate_cuda_kernel(KernelPlan(eq1_repr, cfg1))
+        s2 = generate_cuda_kernel(KernelPlan(eq1_repr, cfg2))
+        assert s1 != s2

@@ -1,0 +1,166 @@
+"""Tests for the pruning rules (repro.core.constraints)."""
+
+import pytest
+
+from repro.core.constraints import ConstraintChecker, ConstraintPolicy
+from repro.core.mapping import config_from_spec
+from repro.core.parser import parse
+
+
+@pytest.fixture
+def eq1():
+    return parse("abcd-aebf-dfce", 32)
+
+
+@pytest.fixture
+def checker(v100):
+    return ConstraintChecker(v100, dtype_bytes=8)
+
+
+def good_config(eq1):
+    return config_from_spec(
+        eq1,
+        tb_x=[("a", 16)],
+        tb_y=[("d", 16)],
+        reg_x=[("b", 4)],
+        reg_y=[("c", 4)],
+        tb_k=[("e", 8)],
+    )
+
+
+class TestHardware:
+    def test_good_config_is_feasible(self, checker, eq1):
+        report = checker.check_config(eq1, good_config(eq1))
+        assert report.feasible
+        assert report.accepted
+
+    def test_smem_overflow_rejected(self, checker, eq1):
+        cfg = config_from_spec(
+            eq1,
+            tb_x=[("a", 32)], tb_y=[("d", 32)],
+            reg_x=[("b", 8)], reg_y=[("c", 8)],
+            tb_k=[("e", 32), ("f", 4)],
+        )
+        report = checker.check_config(eq1, cfg)
+        assert not report.feasible
+        assert any("shared memory" in v for v in report.hardware_violations)
+
+    def test_too_many_threads_rejected(self, checker, eq1):
+        cfg = config_from_spec(
+            eq1, tb_x=[("a", 32), ("b", 32)], tb_y=[("d", 32)],
+        )
+        report = checker.check_config(eq1, cfg)
+        assert not report.feasible
+        assert any("threads" in v for v in report.hardware_violations)
+
+    def test_register_overflow_rejected(self, v100, eq1):
+        checker = ConstraintChecker(v100, dtype_bytes=8)
+        cfg = config_from_spec(
+            eq1, tb_x=[("a", 4)], tb_y=[("d", 4)],
+            reg_x=[("b", 16)], reg_y=[("c", 8)],
+        )
+        report = checker.check_config(eq1, cfg)
+        assert not report.feasible
+        assert any("register" in v for v in report.hardware_violations)
+
+
+class TestPerformance:
+    def test_output_fvi_must_lead_tbx(self, checker, eq1):
+        cfg = config_from_spec(
+            eq1,
+            tb_x=[("b", 16)],  # a relegated to the grid
+            tb_y=[("d", 16)],
+            tb_k=[("e", 8)],
+        )
+        report = checker.check_config(eq1, cfg)
+        assert report.feasible
+        assert any("output FVI" in v
+                   for v in report.performance_violations)
+
+    def test_input_fvi_needs_coalescing_tile(self, checker, eq1):
+        # d is B's FVI; mapping it to the grid gives it tile 1.
+        cfg = config_from_spec(
+            eq1,
+            tb_x=[("a", 16)], tb_y=[("c", 16)],
+            tb_k=[("e", 8)],
+        )
+        report = checker.check_config(eq1, cfg)
+        assert any("coalescing floor" in v
+                   for v in report.performance_violations)
+
+    def test_min_blocks_rule(self, v100):
+        tiny = parse("ab-ak-kb", {"a": 32, "b": 32, "k": 64})
+        checker = ConstraintChecker(
+            v100, policy=ConstraintPolicy(min_blocks_per_sm=4.0)
+        )
+        cfg = config_from_spec(
+            tiny, tb_x=[("a", 32)], tb_y=[("b", 32)], tb_k=[("k", 8)]
+        )
+        report = checker.check_config(tiny, cfg)
+        assert any("load-balance" in v
+                   for v in report.performance_violations)
+
+    def test_min_blocks_adapts_to_tiny_problems(self, v100):
+        # The threshold is capped at the number of *possible* blocks:
+        # a config launching every possible block must not be rejected,
+        # even though that is far below the SM count.
+        tiny = parse("ab-ak-kb", {"a": 4, "b": 4, "k": 4})
+        checker = ConstraintChecker(v100)
+        cfg = config_from_spec(
+            tiny, tb_x=[("a", 2)], tb_y=[("b", 2)], tb_k=[("k", 4)]
+        )
+        # 2*2 tiles -> 4 blocks = every possible block at these tiles is
+        # fewer than max possible (16), so only full tile-1 mapping hits
+        # the cap.
+        grid_cfg = config_from_spec(tiny, tb_k=[("k", 4)])
+        report = checker.check_config(tiny, grid_cfg)
+        assert not any("load-balance" in v
+                       for v in report.performance_violations)
+
+    def test_min_threads_rule(self, checker, eq1):
+        cfg = config_from_spec(
+            eq1, tb_x=[("a", 4)], tb_y=[("d", 4)], tb_k=[("e", 8)]
+        )
+        report = checker.check_config(eq1, cfg)
+        assert any("threads/block" in v
+                   for v in report.performance_violations)
+
+    def test_occupancy_floor(self, v100, eq1):
+        checker = ConstraintChecker(
+            v100, policy=ConstraintPolicy(min_occupancy=0.9)
+        )
+        report = checker.check_config(eq1, good_config(eq1))
+        assert any("occupancy" in v
+                   for v in report.performance_violations)
+
+    def test_max_steps_guard_disabled_by_default(self, checker, eq1):
+        cfg = config_from_spec(
+            eq1, tb_x=[("a", 16)], tb_y=[("d", 16)],
+            tb_k=[("e", 1), ("f", 1)],
+        )
+        report = checker.check_config(eq1, cfg)
+        assert not any("steps" in v for v in report.performance_violations)
+
+    def test_max_steps_guard_enabled(self, v100, eq1):
+        checker = ConstraintChecker(
+            v100, policy=ConstraintPolicy(max_steps=4)
+        )
+        cfg = config_from_spec(
+            eq1, tb_x=[("a", 16)], tb_y=[("d", 16)],
+            tb_k=[("e", 1), ("f", 1)],
+        )
+        report = checker.check_config(eq1, cfg)
+        assert any("steps" in v for v in report.performance_violations)
+
+
+class TestReport:
+    def test_accepted_implies_feasible(self, checker, eq1):
+        report = checker.check_config(eq1, good_config(eq1))
+        assert report.accepted and report.feasible
+
+    def test_hardware_failure_skips_perf_checks(self, checker, eq1):
+        cfg = config_from_spec(
+            eq1, tb_x=[("a", 32), ("b", 32)], tb_y=[("d", 32)],
+        )
+        report = checker.check_config(eq1, cfg)
+        assert report.performance_violations == []

@@ -1,0 +1,94 @@
+"""Tests for the CPU contraction substrate (repro.cpu)."""
+
+import numpy as np
+import pytest
+
+from repro.core.parser import parse
+from repro.cpu import (
+    CpuGett,
+    CpuLog,
+    CpuTtgt,
+    XEON_BROADWELL,
+    XEON_DESKTOP,
+    compare_cpu_frameworks,
+    get_cpu_arch,
+)
+from repro.gpu.executor import random_operands, reference_contract
+
+
+class TestArch:
+    def test_peak_dp(self):
+        # 28 cores * 2 FMA * 4 lanes * 2 flops * 2.4 GHz.
+        assert XEON_BROADWELL.peak_gflops_dp == pytest.approx(1075.2)
+
+    def test_sp_twice_dp(self):
+        assert XEON_BROADWELL.peak_gflops(4) == pytest.approx(
+            2 * XEON_BROADWELL.peak_gflops(8)
+        )
+
+    def test_num_sms_mirrors_cores(self):
+        assert XEON_BROADWELL.num_sms == XEON_BROADWELL.cores
+
+    def test_lookup(self):
+        assert get_cpu_arch("bdw28").name == "Xeon-BDW28"
+        with pytest.raises(KeyError):
+            get_cpu_arch("M1")
+
+
+class TestModels:
+    @pytest.fixture
+    def eq1(self):
+        return parse("abcd-aebf-dfce", 64)
+
+    def test_all_frameworks_report(self, eq1):
+        results = compare_cpu_frameworks(eq1, XEON_BROADWELL)
+        assert set(results) == {"ttgt-cpu", "gett", "log"}
+        for result in results.values():
+            assert result.time_s > 0
+            assert result.gflops > 0
+
+    def test_nothing_exceeds_peak(self, eq1):
+        results = compare_cpu_frameworks(eq1, XEON_BROADWELL)
+        for result in results.values():
+            assert result.gflops <= XEON_BROADWELL.peak_gflops_dp
+
+    def test_gett_beats_ttgt_on_transpose_bound(self):
+        """The GETT paper's claim, reproduced on the CCSD(T) shape."""
+        c = parse("abcdef-gdab-efgc", 24)
+        results = compare_cpu_frameworks(c, XEON_BROADWELL)
+        assert results["gett"].gflops > 2 * results["ttgt-cpu"].gflops
+
+    def test_ttgt_competitive_on_gemm_friendly(self, eq1):
+        results = compare_cpu_frameworks(eq1, XEON_BROADWELL)
+        assert results["ttgt-cpu"].gflops > 0.5 * results["gett"].gflops
+
+    def test_log_wins_only_with_gemm_groups(self):
+        # abcd-abef-efcd: fully fused GEMM structure -> LoG == 1 GEMM.
+        fused = parse("abcd-abef-efcd", 32)
+        log = CpuLog(XEON_BROADWELL)
+        m, n, k, loops = log.plan_groups(fused)
+        assert loops == ()
+        result = log.time(fused)
+        assert "1 GEMMs" in result.detail
+
+    def test_log_degenerates_without_groups(self):
+        c = parse("abcd-aebf-dfce", 64)
+        result = CpuLog(XEON_BROADWELL).time(c)
+        assert "no GEMM-able groups" in result.detail
+        assert result.gflops < 50
+
+    def test_bigger_machine_is_faster(self, eq1):
+        big = CpuGett(XEON_BROADWELL).time(eq1)
+        small = CpuGett(XEON_DESKTOP).time(eq1)
+        assert big.time_s < small.time_s
+
+
+class TestExecution:
+    @pytest.mark.parametrize("cls", [CpuTtgt, CpuGett, CpuLog])
+    def test_matches_einsum(self, cls):
+        c = parse("abcd-aebf-dfce",
+                  {"a": 5, "b": 4, "c": 6, "d": 5, "e": 3, "f": 2})
+        framework = cls(XEON_BROADWELL)
+        a, b = random_operands(c, seed=1)
+        got = framework.execute(c, a, b)
+        assert np.allclose(got, reference_contract(c, a, b))

@@ -1,0 +1,110 @@
+"""Edge-case and robustness tests across the pipeline."""
+
+import numpy as np
+import pytest
+
+from repro import Cogent, parse, verify_plan
+from repro.core.mapping import config_from_spec
+from repro.core.plan import KernelPlan
+from repro.gpu.executor import (
+    execute_plan,
+    random_operands,
+    reference_contract,
+)
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return Cogent(arch="V100", top_k=2, allow_split=False)
+
+
+class TestExtentOne:
+    def test_unit_extent_internal(self, gen):
+        c = parse("ab-ak-kb", {"a": 8, "b": 8, "k": 1})
+        kernel = gen.generate(c)
+        assert verify_plan(kernel.plan)
+
+    def test_unit_extent_external(self, gen):
+        c = parse("ab-ak-kb", {"a": 1, "b": 16, "k": 8})
+        kernel = gen.generate(c)
+        assert verify_plan(kernel.plan)
+
+    def test_all_unit_extents(self, gen):
+        c = parse("ab-ak-kb", {"a": 1, "b": 1, "k": 1})
+        kernel = gen.generate(c)
+        a, b = random_operands(c)
+        got = execute_plan(kernel.plan, a, b)
+        assert np.allclose(got, a @ b)
+
+    def test_unit_extent_in_middle_of_tensor(self, gen):
+        c = parse("abcd-aebf-dfce",
+                  {"a": 6, "b": 1, "c": 5, "d": 4, "e": 1, "f": 3})
+        kernel = gen.generate(c)
+        assert verify_plan(kernel.plan)
+
+
+class TestExtremeShapes:
+    def test_very_skewed_extents(self, gen):
+        c = parse("ab-ak-kb", {"a": 512, "b": 2, "k": 3})
+        kernel = gen.generate(c)
+        assert verify_plan(kernel.plan)
+
+    def test_long_contraction_short_externals(self, gen):
+        c = parse("ab-ak-kb", {"a": 4, "b": 4, "k": 1024})
+        kernel = gen.generate(c)
+        assert verify_plan(kernel.plan)
+
+    def test_huge_extents_dont_overflow_planning(self, gen):
+        # Planning and modelling only (no execution): strides exceed
+        # 32-bit range; nothing should overflow in Python.
+        c = parse("ab-ak-kb", {"a": 65536, "b": 65536, "k": 4096})
+        kernel = gen.generate(c)
+        assert kernel.cost > 0
+        sim = kernel.candidates[0].simulated
+        assert sim.time_s > 0
+        # Generated code uses long strides for exactly this reason.
+        assert "const long st_A_a" in kernel.cuda_source
+
+    def test_prime_extents(self, gen):
+        c = parse("abc-adc-bd", {"a": 13, "b": 11, "c": 7, "d": 17})
+        kernel = gen.generate(c)
+        assert verify_plan(kernel.plan)
+
+
+class TestDegenerateStructures:
+    def test_vector_times_matrix(self, gen):
+        c = parse("a-ak-k", {"a": 64, "k": 32})
+        kernel = gen.generate(c)
+        a, b = random_operands(c)
+        got = execute_plan(kernel.plan, a, b)
+        assert np.allclose(got, a @ b)
+
+    def test_outer_product_vectors(self, gen):
+        c = parse("ab-a-b", {"a": 32, "b": 48})
+        kernel = gen.generate(c)
+        a, b = random_operands(c)
+        got = execute_plan(kernel.plan, a, b)
+        assert np.allclose(got, np.outer(a, b))
+
+    def test_six_internal_indices(self, gen):
+        c = parse("ab-acdefg-bcdefg",
+                  {"a": 8, "b": 8, "c": 3, "d": 3, "e": 2, "f": 2,
+                   "g": 2})
+        kernel = gen.generate(c)
+        assert verify_plan(kernel.plan)
+
+    def test_single_thread_plan_still_correct(self):
+        c = parse("ab-ak-kb", {"a": 5, "b": 5, "k": 5})
+        plan = KernelPlan(c, config_from_spec(c))  # all grid/tile-1
+        assert verify_plan(plan)
+
+
+class TestDtypeEdges:
+    def test_float32_accumulation_tolerance(self, gen):
+        gen_sp = Cogent(arch="V100", dtype_bytes=4, top_k=1)
+        c = parse("ab-ak-kb", {"a": 32, "b": 32, "k": 256})
+        kernel = gen_sp.generate(c)
+        a, b = random_operands(c, np.float32)
+        got = execute_plan(kernel.plan, a, b)
+        want = reference_contract(c, a, b)
+        assert np.allclose(got, want, rtol=1e-3, atol=1e-3)

@@ -1,0 +1,90 @@
+"""Tests for the experiment harness (repro.evaluation)."""
+
+import math
+
+import pytest
+
+from repro.evaluation import (
+    SuiteRunner,
+    curve_table,
+    format_table,
+    geomean,
+    speedup_summary,
+    to_csv,
+)
+from repro.tccg import get
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SuiteRunner(arch="V100", tc_population=8, tc_generations=2)
+
+
+@pytest.fixture(scope="module")
+def rows(runner):
+    benches = [get("ccsd_eq1"), get("sd_t_d2_1")]
+    return runner.compare(benches, ("cogent", "nwchem", "talsh"))
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(geomean([]))
+
+
+class TestRunner:
+    def test_rows_have_all_frameworks(self, rows):
+        for row in rows:
+            assert set(row.results) == {"cogent", "nwchem", "talsh"}
+
+    def test_gflops_positive(self, rows):
+        for row in rows:
+            for fw in row.results:
+                assert row.gflops(fw) > 0
+
+    def test_speedup(self, rows):
+        row = rows[0]
+        assert row.speedup("cogent", "talsh") == pytest.approx(
+            row.gflops("cogent") / row.gflops("talsh")
+        )
+
+    def test_unknown_framework_raises(self, runner):
+        with pytest.raises(KeyError):
+            runner.run("magic", get(1).contraction())
+
+    def test_tc_frameworks(self, runner):
+        c = get("sd_t_d2_1").contraction()
+        tuned = runner.run("tc", c, "sd2_1")
+        untuned = runner.run("tc_untuned", c, "sd2_1")
+        assert tuned.gflops > untuned.gflops
+
+    def test_cogent_setup_time_recorded(self, rows):
+        assert rows[0].results["cogent"].setup_time_s > 0
+
+    def test_speedup_summary(self, rows):
+        gm, mx = speedup_summary(rows, over="talsh")
+        assert gm > 0
+        assert mx >= gm
+
+
+class TestTables:
+    def test_format_table_contains_benchmarks(self, rows):
+        text = format_table(rows, ("cogent", "nwchem", "talsh"),
+                            title="demo")
+        assert "demo" in text
+        assert "ccsd_eq1" in text
+        assert "geomean" in text
+        assert "cogent vs talsh" in text
+
+    def test_csv(self, rows):
+        csv = to_csv(rows, ("cogent", "talsh"))
+        lines = csv.strip().splitlines()
+        assert lines[0] == "id,name,expr,cogent,talsh"
+        assert len(lines) == 1 + len(rows)
+
+    def test_curve_table(self):
+        text = curve_table([1.0, 2.0, 3.0, 4.0, 5.0], stride=2)
+        assert "best GFLOPS" in text
+        assert text.strip().splitlines()[-1].split()[0] == "5"

@@ -1,0 +1,51 @@
+"""Smoke tests: the shipped examples must run end-to-end and pass their
+own internal checks (each prints PASS/validates internally)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+# (script, argv, marker expected in stdout)
+CASES = [
+    ("quickstart.py", [], "PASS"),
+    ("compile_and_validate.py", [], "matched numpy.einsum"),
+    ("batched_ml.py", [], "PASS"),
+    ("tensor_network.py", [], "PASS"),
+    ("ccsd_iterations.py", ["3", "4"], "PASS"),
+    ("autotune_vs_model.py", ["8", "2"], "model-driven"),
+    ("triples_energy.py", ["3", "3"], "PASS"),
+]
+
+
+@pytest.mark.parametrize("script,argv,marker", CASES,
+                         ids=[c[0] for c in CASES])
+def test_example_runs(script, argv, marker):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    proc = subprocess.run(
+        [sys.executable, str(path), *argv],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert marker in proc.stdout
+    assert "FAIL" not in proc.stdout
+
+
+def test_all_examples_have_docstrings():
+    for script in EXAMPLES.glob("*.py"):
+        text = script.read_text()
+        assert text.lstrip().startswith(
+            ("#!/usr/bin/env python3", '"""')
+        ), script.name
+        assert '"""' in text, f"{script.name} lacks a docstring"
+
+
+def test_examples_inventory():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    # The README promises at least a quickstart plus domain scenarios.
+    assert "quickstart.py" in names
+    assert len(names) >= 3

@@ -1,0 +1,129 @@
+"""Tests for the functional plan executor (repro.gpu.executor)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import config_from_spec
+from repro.core.parser import parse
+from repro.core.plan import KernelPlan
+from repro.gpu.executor import (
+    execute_plan,
+    random_operands,
+    reference_contract,
+    verify_plan,
+)
+
+
+def make_plan(c, dtype_bytes=8, **spec):
+    return KernelPlan(c, config_from_spec(c, **spec), dtype_bytes)
+
+
+class TestReference:
+    def test_matches_manual_matmul(self):
+        c = parse("ab-ak-kb", {"a": 5, "b": 4, "k": 3})
+        a, b = random_operands(c)
+        assert np.allclose(reference_contract(c, a, b), a @ b)
+
+    def test_shape_mismatch_rejected(self):
+        c = parse("ab-ak-kb", {"a": 5, "b": 4, "k": 3})
+        with pytest.raises(ValueError):
+            reference_contract(c, np.zeros((5, 5)), np.zeros((3, 4)))
+
+    def test_random_operands_deterministic(self):
+        c = parse("ab-ak-kb", {"a": 5, "b": 4, "k": 3})
+        a1, b1 = random_operands(c, seed=7)
+        a2, b2 = random_operands(c, seed=7)
+        assert np.array_equal(a1, a2)
+        assert np.array_equal(b1, b2)
+
+    def test_random_operands_shapes(self):
+        c = parse("abc-adc-bd", {"a": 2, "b": 3, "c": 4, "d": 5})
+        a, b = random_operands(c)
+        assert a.shape == (2, 5, 4)
+        assert b.shape == (3, 5)
+
+
+class TestExecutePlan:
+    def test_matmul_exact_tiles(self):
+        c = parse("ab-ak-kb", {"a": 8, "b": 8, "k": 8})
+        plan = make_plan(
+            c, tb_x=[("a", 4)], tb_y=[("b", 4)], tb_k=[("k", 4)]
+        )
+        a, b = random_operands(c)
+        assert np.allclose(execute_plan(plan, a, b),
+                           reference_contract(c, a, b))
+
+    def test_partial_tiles(self):
+        c = parse("ab-ak-kb", {"a": 7, "b": 5, "k": 9})
+        plan = make_plan(
+            c, tb_x=[("a", 4)], tb_y=[("b", 4)], tb_k=[("k", 4)]
+        )
+        a, b = random_operands(c)
+        assert np.allclose(execute_plan(plan, a, b),
+                           reference_contract(c, a, b))
+
+    def test_eq1_with_register_tiles(self, eq1_small):
+        plan = make_plan(
+            eq1_small,
+            tb_x=[("a", 4)], tb_y=[("d", 2)],
+            reg_x=[("b", 2)], reg_y=[("c", 3)],
+            tb_k=[("e", 2), ("f", 2)],
+        )
+        a, b = random_operands(eq1_small)
+        assert np.allclose(execute_plan(plan, a, b),
+                           reference_contract(eq1_small, a, b))
+
+    def test_grid_only_mapping(self):
+        c = parse("ab-ak-kb", {"a": 4, "b": 4, "k": 4})
+        plan = make_plan(c)  # everything defaulted to grid / tile-1 TBk
+        a, b = random_operands(c)
+        assert np.allclose(execute_plan(plan, a, b),
+                           reference_contract(c, a, b))
+
+    def test_outer_product(self):
+        c = parse("ab-a-b", {"a": 6, "b": 7})
+        plan = make_plan(c, tb_x=[("a", 3)], tb_y=[("b", 4)])
+        a, b = random_operands(c)
+        assert np.allclose(execute_plan(plan, a, b), np.outer(a, b))
+
+    def test_single_precision(self):
+        c = parse("ab-ak-kb", {"a": 8, "b": 8, "k": 8})
+        plan = make_plan(
+            c, dtype_bytes=4,
+            tb_x=[("a", 4)], tb_y=[("b", 4)], tb_k=[("k", 4)],
+        )
+        a, b = random_operands(c, np.float32)
+        got = execute_plan(plan, a, b)
+        assert got.dtype == np.float32
+        assert np.allclose(got, reference_contract(c, a, b), rtol=1e-4)
+
+    def test_operand_shape_checked(self):
+        c = parse("ab-ak-kb", {"a": 8, "b": 8, "k": 8})
+        plan = make_plan(c, tb_x=[("a", 4)])
+        with pytest.raises(ValueError):
+            execute_plan(plan, np.zeros((8, 9)), np.zeros((8, 8)))
+
+    def test_5d_contraction(self):
+        c = parse("abcde-efbad-cf",
+                  {"a": 3, "b": 4, "c": 2, "d": 3, "e": 2, "f": 3})
+        plan = make_plan(
+            c, tb_x=[("a", 2)], tb_y=[("c", 2)], tb_k=[("f", 2)]
+        )
+        a, b = random_operands(c)
+        assert np.allclose(execute_plan(plan, a, b),
+                           reference_contract(c, a, b))
+
+
+class TestVerifyPlan:
+    def test_verify_good_plan(self):
+        c = parse("ab-ak-kb", {"a": 8, "b": 8, "k": 8})
+        plan = make_plan(c, tb_x=[("a", 4)], tb_y=[("b", 4)],
+                         tb_k=[("k", 4)])
+        assert verify_plan(plan)
+
+    def test_verify_single_precision_plan(self):
+        c = parse("ab-ak-kb", {"a": 8, "b": 8, "k": 8})
+        plan = make_plan(
+            c, dtype_bytes=4, tb_x=[("a", 4)], tb_y=[("b", 4)],
+        )
+        assert verify_plan(plan)

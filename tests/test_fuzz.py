@@ -1,0 +1,68 @@
+"""Fuzz tests: arbitrary input must either parse cleanly or raise the
+library's own error types — never crash with an unrelated exception."""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ir import ContractionError
+from repro.core.parser import parse, parse_size_spec
+
+_ACCEPTABLE = (ContractionError,)
+
+
+@given(st.text(max_size=40))
+@settings(max_examples=200, deadline=None)
+def test_parse_never_crashes_unexpectedly(text):
+    try:
+        contraction = parse(text, 4)
+    except _ACCEPTABLE:
+        return
+    # If it parsed, the result must be a structurally valid contraction.
+    for idx in contraction.all_indices:
+        assert contraction.kind(idx) is not None
+
+
+@given(
+    st.text(alphabet=string.ascii_lowercase + "-", max_size=24)
+)
+@settings(max_examples=200, deadline=None)
+def test_compactish_strings(text):
+    try:
+        contraction = parse(text, 4)
+    except _ACCEPTABLE:
+        return
+    assert contraction.flops > 0
+
+
+@given(st.text(max_size=30))
+@settings(max_examples=150, deadline=None)
+def test_size_spec_never_crashes_unexpectedly(text):
+    try:
+        spec = parse_size_spec(text)
+    except _ACCEPTABLE:
+        return
+    assert spec is None or isinstance(spec, (int, dict))
+
+
+@given(
+    st.lists(
+        st.sampled_from(string.ascii_lowercase), min_size=1, max_size=6,
+        unique=True,
+    ),
+    st.integers(-5, 5),
+)
+@settings(max_examples=100, deadline=None)
+def test_extents_validated(indices, extent):
+    expr = "".join(indices)
+    # Same index string on both sides -> elementwise-like; invalid
+    # (each index would appear in 3 tensors), so focus on sizes only
+    # with a valid matmul-shaped expression.
+    try:
+        parse("ab-ak-kb", {"a": extent, "b": 4, "k": 4})
+    except _ACCEPTABLE:
+        assert extent < 1
+        return
+    assert extent >= 1

@@ -1,0 +1,150 @@
+"""Unit tests for the shared codegen fragments (codegen/indexing.py)."""
+
+import pytest
+
+from repro.core.codegen import indexing as ix
+from repro.core.mapping import config_from_spec
+from repro.core.parser import parse
+from repro.core.plan import Axis, KernelPlan
+
+
+@pytest.fixture
+def plan():
+    c = parse(
+        "abcd-aebf-dfce",
+        {"a": 16, "b": 8, "c": 12, "d": 10, "e": 6, "f": 4},
+    )
+    cfg = config_from_spec(
+        c,
+        tb_x=[("a", 8)], tb_y=[("c", 4)],
+        reg_x=[("b", 4)], reg_y=[("d", 2)],
+        tb_k=[("e", 3), ("f", 2)],
+    )
+    return KernelPlan(c, cfg)
+
+
+class TestNaming:
+    def test_extent_param(self):
+        assert ix.extent_param("a") == "n_a"
+
+    def test_stride_var(self):
+        assert ix.stride_var("A", "e") == "st_A_e"
+
+    def test_offsets(self):
+        assert ix.block_offset_var("a") == "boff_a"
+        assert ix.step_offset_var("e") == "soff_e"
+
+
+class TestStrideDefinitions:
+    def test_fvi_stride_is_one(self, plan):
+        lines = ix.stride_definitions(plan.contraction.a)
+        assert lines[0] == "const long st_A_a = 1;"
+
+    def test_strides_accumulate(self, plan):
+        lines = ix.stride_definitions(plan.contraction.a)
+        assert "const long st_A_e = (long)n_a;" in lines
+        assert "const long st_A_b = (long)n_a * (long)n_e;" in lines
+
+    def test_one_line_per_index(self, plan):
+        assert len(ix.stride_definitions(plan.contraction.c)) == 4
+
+
+class TestTileCounts:
+    def test_ceil_division_text(self, plan):
+        lines = ix.tile_count_definitions(plan.block_axes)
+        assert "const int nt_a = (n_a + 8 - 1) / 8;" in lines
+
+
+class TestDecompose:
+    def test_fastest_axis_first(self, plan):
+        lines = ix.decompose_offsets(
+            "blockIdx.x", plan.block_axes, ix.block_offset_var, "bid_"
+        )
+        text = "\n".join(lines)
+        assert text.index("boff_a") < text.index("boff_b")
+        assert "int bid_ = blockIdx.x;" in lines[0]
+
+    def test_last_axis_skips_modulo(self, plan):
+        lines = ix.decompose_offsets(
+            "step_", plan.step_axes, ix.step_offset_var, "sid_"
+        )
+        # Last axis uses the remaining quotient directly.
+        assert lines[-1].startswith("const int soff_f = sid_ *")
+
+    def test_empty_axes(self):
+        lines = ix.decompose_offsets("x", [], ix.step_offset_var, "t_")
+        assert any("(void)t_;" in line for line in lines)
+
+
+class TestFlatten:
+    def test_single_term(self):
+        expr = ix.flatten_expr({"a": "ca"}, [("a", 4)])
+        assert expr == "ca"
+
+    def test_mixed_radix(self):
+        expr = ix.flatten_expr(
+            {"a": "ca", "b": "cb"}, [("a", 4), ("b", 3)]
+        )
+        assert expr == "ca + 4 * (cb)"
+
+    def test_empty_is_zero(self):
+        assert ix.flatten_expr({}, []) == "0"
+
+
+class TestTileLoadFragment:
+    def test_body_declares_all_coordinates(self, plan):
+        frag = ix.TileLoadFragment(plan, plan.contraction.a)
+        lines, addr, bounds, smem = frag.body("l_")
+        text = "\n".join(lines)
+        for index in plan.contraction.a.indices:
+            assert f"lc_{index}" in text
+            assert f"g_{index}" in text
+
+    def test_address_uses_strides(self, plan):
+        frag = ix.TileLoadFragment(plan, plan.contraction.b)
+        _, addr, _, _ = frag.body("l_")
+        for index in plan.contraction.b.indices:
+            assert f"st_B_{index}" in addr
+
+    def test_bounds_cover_every_index(self, plan):
+        frag = ix.TileLoadFragment(plan, plan.contraction.a)
+        _, _, bounds, _ = frag.body("l_")
+        for index in plan.contraction.a.indices:
+            assert f"(g_{index} < n_{index})" in bounds
+
+    def test_smem_index_scales_by_block_tile(self, plan):
+        frag = ix.TileLoadFragment(plan, plan.contraction.a)
+        _, _, _, smem = frag.body("l_")
+        # int_flat * block_tile_x + ext_flat
+        assert f"* {plan.config.block_tile_x} +" in smem
+
+
+class TestStoreFragment:
+    def test_thread_coords(self, plan):
+        store = ix.StoreFragment(plan)
+        lines, coords = store.thread_coord_decls()
+        assert set(coords) == {"a", "c"}  # TB_X index a, TB_Y index c
+
+    def test_reg_coords(self, plan):
+        store = ix.StoreFragment(plan)
+        _, coords = store.reg_coord_decls("rx_", "ry_")
+        assert set(coords) == {"b", "d"}
+
+    def test_address_and_bounds(self, plan):
+        store = ix.StoreFragment(plan)
+        t_lines, t_coords = store.thread_coord_decls()
+        r_lines, r_coords = store.reg_coord_decls("rx_", "ry_")
+        lines, addr, bounds = store.address_and_bounds(
+            {**t_coords, **r_coords}
+        )
+        for index in plan.contraction.c.indices:
+            assert f"st_C_{index}" in addr
+            assert f"gc_{index} < n_{index}" in bounds
+
+
+class TestIndent:
+    def test_indent_levels(self):
+        assert ix.indent(["x;"], 2) == ["        x;"]
+
+    def test_empty_lines_untouched(self):
+        assert ix.indent(["", "y;"], 1) == ["", "    y;"]

@@ -1,0 +1,125 @@
+"""End-to-end integration tests across all subsystems."""
+
+import numpy as np
+import pytest
+
+from repro import Cogent, parse
+from repro.baselines.naive import contract_tensordot
+from repro.baselines.nwchem import NwchemGenerator
+from repro.core.codegen.cemu import compile_and_run
+from repro.core.splitting import adapt_operands, restore_output
+from repro.gpu.executor import (
+    execute_plan,
+    random_operands,
+    reference_contract,
+)
+from repro.ttgt.pipeline import TtgtPipeline
+
+from .conftest import requires_cc
+
+
+class TestFullPipelineEq1:
+    """Paper Eq. 1 end-to-end: generate -> verify -> compile -> run."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        c = parse("abcd-aebf-dfce",
+                  {"a": 9, "b": 6, "c": 7, "d": 8, "e": 4, "f": 5})
+        gen = Cogent(arch="V100")
+        kernel = gen.generate(c)
+        a, b = random_operands(c, seed=11)
+        want = reference_contract(c, a, b)
+        return c, kernel, a, b, want
+
+    def test_plan_executes_correctly(self, setup):
+        c, kernel, a, b, want = setup
+        assert np.allclose(execute_plan(kernel.plan, a, b), want)
+
+    @requires_cc
+    def test_generated_c_runs_correctly(self, setup):
+        c, kernel, a, b, want = setup
+        got = compile_and_run(kernel.plan, a, b)
+        assert np.allclose(got, want)
+
+    def test_cuda_source_well_formed(self, setup):
+        _, kernel, _, _, _ = setup
+        source = kernel.cuda_source
+        assert source.count("{") == source.count("}")
+        assert "__global__" in source
+
+
+class TestCrossFrameworkAgreement:
+    """All numerical paths must agree on the same problem."""
+
+    @pytest.fixture(scope="class")
+    def problem(self):
+        c = parse("abcdef-gdab-efgc", 4)  # SD2_1 shape, tiny extents
+        a, b = random_operands(c, seed=5)
+        return c, a, b, reference_contract(c, a, b)
+
+    def test_cogent_plan(self, problem, v100):
+        c, a, b, want = problem
+        kernel = Cogent(arch=v100).generate(c)
+        assert np.allclose(execute_plan(kernel.plan, a, b), want)
+
+    def test_nwchem_plan(self, problem, v100):
+        c, a, b, want = problem
+        plan = NwchemGenerator(v100).generate(c)
+        assert np.allclose(execute_plan(plan, a, b), want)
+
+    def test_ttgt(self, problem, v100):
+        c, a, b, want = problem
+        assert np.allclose(TtgtPipeline(v100).execute(c, a, b), want)
+
+    def test_tensordot(self, problem):
+        c, a, b, want = problem
+        assert np.allclose(contract_tensordot(c, a, b), want)
+
+
+class TestSplitKernelEndToEnd:
+    """A split kernel must reproduce the original contraction."""
+
+    @requires_cc
+    def test_split_kernel_on_original_data(self):
+        original = parse("abc-adc-bd",
+                         {"a": 8, "b": 12, "c": 6, "d": 8})
+        gen = Cogent(arch="V100", split_factors=(4,))
+        kernel = gen.generate(original)
+        a, b = random_operands(original, seed=9)
+        want = reference_contract(original, a, b)
+        if kernel.split_specs:
+            a2, b2 = adapt_operands(original, kernel.split_specs, a, b)
+            got_split = compile_and_run(kernel.plan, a2, b2)
+            got = restore_output(
+                kernel.contraction, kernel.split_specs, got_split
+            )
+        else:
+            got = compile_and_run(kernel.plan, a, b)
+        assert np.allclose(got, want)
+
+
+class TestSuiteNumericalSample:
+    """One representative of each TCCG group, scaled down, through the
+    COGENT plan executor."""
+
+    @pytest.mark.parametrize("name", [
+        "ttm_mode2", "mo_stage1", "ccsd_eq1", "sd_t_d2_1",
+    ])
+    def test_group_representative(self, name, v100):
+        from repro.tccg import get
+
+        bench = get(name)
+        c = bench.scaled(0.15 if bench.group != "ccsd_t" else 0.25)
+        kernel = Cogent(arch=v100).generate(c)
+        a, b = random_operands(c, seed=2)
+        want = reference_contract(c, a, b)
+        if kernel.split_specs:
+            a2, b2 = adapt_operands(c, kernel.split_specs, a, b)
+            got = restore_output(
+                kernel.contraction,
+                kernel.split_specs,
+                execute_plan(kernel.plan, a2, b2),
+            )
+        else:
+            got = execute_plan(kernel.plan, a, b)
+        assert np.allclose(got, want, rtol=1e-9, atol=1e-9)

@@ -1,0 +1,104 @@
+"""Cross-cutting invariants: renaming, scaling, and normalisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costmodel import CostModel
+from repro.core.ir import Contraction, TensorRef
+from repro.core.mapping import IndexMapping, KernelConfig
+from repro.core.merging import normalize
+from repro.core.parser import parse
+from repro.core.plan import KernelPlan
+
+from .test_properties import planned_contractions
+
+
+def _rename(contraction: Contraction, mapping):
+    def ref(t: TensorRef) -> TensorRef:
+        return TensorRef(t.name, tuple(mapping[i] for i in t.indices))
+
+    return Contraction(
+        ref(contraction.c), ref(contraction.a), ref(contraction.b),
+        {mapping[k]: v for k, v in contraction.sizes.items()},
+    )
+
+
+def _rename_config(config: KernelConfig, mapping) -> KernelConfig:
+    return KernelConfig(tuple(
+        IndexMapping(mapping[m.index], m.dim, m.tile)
+        for m in config.mappings
+    ))
+
+
+@given(planned_contractions())
+@settings(max_examples=30, deadline=None)
+def test_index_renaming_invariance(plan):
+    """Costs and geometry depend on structure, never on index names."""
+    contraction = plan.contraction
+    names = list(contraction.all_indices)
+    mapping = {
+        name: f"idx{pos}" for pos, name in enumerate(names)
+    }
+    renamed = _rename(contraction, mapping)
+    renamed_plan = KernelPlan(
+        renamed, _rename_config(plan.config, mapping), plan.dtype_bytes
+    )
+    model = CostModel(plan.dtype_bytes)
+    assert model.cost(plan) == model.cost(renamed_plan)
+    assert plan.num_blocks == renamed_plan.num_blocks
+    assert plan.num_steps == renamed_plan.num_steps
+    assert plan.smem_bytes == renamed_plan.smem_bytes
+    assert plan.threads_per_block == renamed_plan.threads_per_block
+
+
+@given(planned_contractions())
+@settings(max_examples=25, deadline=None)
+def test_cost_scales_with_blocks(plan):
+    """Doubling an external GRID-ish dimension's extent scales blocks
+    and never reduces the total transaction count."""
+    contraction = plan.contraction
+    model = CostModel(plan.dtype_bytes)
+    base = model.cost(plan)
+    doubled_sizes = dict(contraction.sizes)
+    target = contraction.external_indices[0]
+    doubled_sizes[target] *= 2
+    doubled = KernelPlan(
+        contraction.with_sizes(doubled_sizes), plan.config,
+        plan.dtype_bytes,
+    )
+    assert model.cost(doubled) >= base
+
+
+@given(planned_contractions())
+@settings(max_examples=25, deadline=None)
+def test_dtype_monotonicity(plan):
+    """Single precision never costs more transactions than double."""
+    dp = CostModel(8).cost(plan)
+    sp = CostModel(4).cost(plan)
+    assert sp <= dp
+
+
+@given(planned_contractions())
+@settings(max_examples=25, deadline=None)
+def test_normalize_idempotent(plan):
+    once, specs_once = normalize(plan.contraction)
+    twice, specs_twice = normalize(once)
+    assert specs_twice == []
+    assert str(twice) == str(once)
+
+
+class TestSymmetryOfSuite:
+    def test_symmetric_suite_entries_cost_alike(self, v100):
+        """sd_t_d1 permutation family members share block geometry up
+        to relabeling: their generated plans have equal model cost."""
+        from repro import Cogent
+        from repro.tccg import get
+
+        gen = Cogent(arch=v100, allow_split=False, top_k=1)
+        costs = set()
+        for name in ("sd_t_d1_1", "sd_t_d1_2", "sd_t_d1_4"):
+            kernel = gen.generate(get(name).contraction())
+            costs.add(kernel.cost)
+        assert len(costs) == 1

@@ -1,0 +1,213 @@
+"""Tests for the contraction IR (repro.core.ir)."""
+
+import math
+
+import pytest
+
+from repro.core.ir import (
+    Contraction,
+    ContractionError,
+    IndexKind,
+    TensorRef,
+    column_major_strides,
+    make_contraction,
+)
+
+
+class TestTensorRef:
+    def test_fvi_is_first_index(self):
+        t = TensorRef("A", ("a", "e", "b", "f"))
+        assert t.fvi == "a"
+
+    def test_svi_is_last_index(self):
+        t = TensorRef("A", ("a", "e", "b", "f"))
+        assert t.svi == "f"
+
+    def test_ndim(self):
+        assert TensorRef("A", ("x", "y", "z")).ndim == 3
+
+    def test_position(self):
+        t = TensorRef("A", ("a", "e", "b"))
+        assert t.position("b") == 2
+
+    def test_position_missing_raises(self):
+        t = TensorRef("A", ("a", "b"))
+        with pytest.raises(ContractionError):
+            t.position("z")
+
+    def test_contains(self):
+        t = TensorRef("A", ("a", "b"))
+        assert "a" in t
+        assert "z" not in t
+
+    def test_repeated_index_rejected(self):
+        with pytest.raises(ContractionError):
+            TensorRef("A", ("a", "a"))
+
+    def test_empty_indices_rejected(self):
+        with pytest.raises(ContractionError):
+            TensorRef("A", ())
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ContractionError):
+            TensorRef("", ("a",))
+
+    def test_str(self):
+        assert str(TensorRef("A", ("a", "b"))) == "A[a,b]"
+
+
+class TestStrides:
+    def test_column_major_first_fastest(self):
+        assert column_major_strides((4, 5, 6)) == (1, 4, 20)
+
+    def test_single_dim(self):
+        assert column_major_strides((7,)) == (1,)
+
+    def test_empty(self):
+        assert column_major_strides(()) == ()
+
+
+def _eq1(sizes=16):
+    if isinstance(sizes, int):
+        sizes = {i: sizes for i in "abcdef"}
+    return make_contraction("abcd", "aebf", "dfce", sizes)
+
+
+class TestClassification:
+    def test_external_indices_in_output_order(self):
+        c = _eq1()
+        assert c.external_indices == ("a", "b", "c", "d")
+
+    def test_internal_indices(self):
+        c = _eq1()
+        assert c.internal_indices == ("e", "f")
+
+    def test_all_indices(self):
+        c = _eq1()
+        assert c.all_indices == ("a", "b", "c", "d", "e", "f")
+
+    def test_kind_external(self):
+        c = _eq1()
+        assert c.kind("a") is IndexKind.EXTERNAL
+
+    def test_kind_internal(self):
+        c = _eq1()
+        assert c.kind("e") is IndexKind.INTERNAL
+
+    def test_kind_unknown_raises(self):
+        with pytest.raises(ContractionError):
+            _eq1().kind("z")
+
+    def test_index_in_three_tensors_rejected(self):
+        # 'a' appears in C, A and B.
+        with pytest.raises(ContractionError):
+            make_contraction("ab", "ak", "ka", {"a": 4, "b": 4, "k": 4})
+
+    def test_index_in_one_tensor_rejected(self):
+        with pytest.raises(ContractionError):
+            make_contraction("abz", "ak", "kb",
+                             {"a": 4, "b": 4, "k": 4, "z": 4})
+
+    def test_missing_size_rejected(self):
+        with pytest.raises(ContractionError):
+            make_contraction("ab", "ak", "kb", {"a": 4, "b": 4})
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ContractionError):
+            make_contraction("ab", "ak", "kb", {"a": 4, "b": 4, "k": 0})
+
+
+class TestReuse:
+    """Every index is a reuse direction for exactly one tensor (Sec. II)."""
+
+    def test_internal_index_reuses_output(self):
+        c = _eq1()
+        assert c.reuse_tensor("e") == "C"
+        assert c.reuse_tensor("f") == "C"
+
+    def test_a_externals_reuse_b(self):
+        c = _eq1()
+        assert c.reuse_tensor("a") == "B"
+        assert c.reuse_tensor("b") == "B"
+
+    def test_b_externals_reuse_a(self):
+        c = _eq1()
+        assert c.reuse_tensor("c") == "A"
+        assert c.reuse_tensor("d") == "A"
+
+    def test_reuse_groups_partition_all_indices(self):
+        c = _eq1()
+        groups = c.reuse_groups()
+        flattened = [i for idxs in groups.values() for i in idxs]
+        assert sorted(flattened) == sorted(c.all_indices)
+
+    def test_reuse_groups_eq1(self):
+        groups = _eq1().reuse_groups()
+        assert groups["C"] == ("e", "f")
+        assert groups["B"] == ("a", "b")
+        assert groups["A"] == ("c", "d")
+
+
+class TestOrientation:
+    def test_x_input_holds_output_fvi(self):
+        c = _eq1()
+        assert c.c.fvi in c.x_input
+        assert c.x_input.name == "A"
+
+    def test_y_input_is_other_input(self):
+        c = _eq1()
+        assert c.y_input.name == "B"
+
+    def test_x_input_can_be_b(self):
+        c = make_contraction("ab", "kb", "ak", {"a": 4, "b": 4, "k": 4})
+        assert c.x_input.name == "B"
+        assert c.y_input.name == "A"
+
+    def test_externals_of_in_tensor_order(self):
+        c = _eq1()
+        assert c.externals_of(c.a) == ("a", "b")
+        assert c.externals_of(c.b) == ("d", "c")
+
+
+class TestGeometry:
+    def test_extents_of(self):
+        c = _eq1({"a": 2, "b": 3, "c": 4, "d": 5, "e": 6, "f": 7})
+        assert c.extents_of(c.a) == (2, 6, 3, 7)
+
+    def test_strides_of_column_major(self):
+        c = _eq1({"a": 2, "b": 3, "c": 4, "d": 5, "e": 6, "f": 7})
+        assert c.strides_of(c.a) == (1, 2, 12, 36)
+
+    def test_num_elements(self):
+        c = _eq1(4)
+        assert c.num_elements(c.c) == 4 ** 4
+
+    def test_flops_counts_mul_and_add(self):
+        c = _eq1(4)
+        assert c.flops == 2 * 4 ** 6
+
+    def test_iteration_space(self):
+        c = _eq1(3)
+        assert c.iteration_space == 3 ** 6
+
+    def test_arithmetic_intensity_positive(self):
+        assert _eq1(8).arithmetic_intensity() > 0
+
+    def test_with_sizes(self):
+        c = _eq1(4).with_sizes({i: 8 for i in "abcdef"})
+        assert c.extent("a") == 8
+
+    def test_einsum_spec_round_trips_indices(self):
+        c = _eq1()
+        spec = c.einsum_spec()
+        lhs, rhs = spec.split("->")
+        a_sub, b_sub = lhs.split(",")
+        assert len(a_sub) == 4 and len(b_sub) == 4 and len(rhs) == 4
+
+    def test_outer_product_allowed(self):
+        c = make_contraction("ab", "a", "b", {"a": 4, "b": 4})
+        assert c.internal_indices == ()
+        assert c.flops == 2 * 16
+
+    def test_str_rendering(self):
+        assert str(_eq1()) == "C[a,b,c,d] = A[a,e,b,f] * B[d,f,c,e]"

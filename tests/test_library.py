@@ -1,0 +1,115 @@
+"""Tests for multi-size kernel libraries (repro.core.library)."""
+
+import numpy as np
+import pytest
+
+from repro import Cogent, parse
+from repro.core.library import KernelLibrary, clamp_config
+from repro.core.mapping import config_from_spec
+from repro.gpu.executor import random_operands, reference_contract
+
+
+@pytest.fixture(scope="module")
+def library():
+    return KernelLibrary(
+        "abcd-aebf-dfce", [16, 48],
+        generator=Cogent(arch="V100", top_k=8),
+    )
+
+
+class TestBuild:
+    def test_one_entry_per_size(self, library):
+        assert len(library) == 2
+
+    def test_distinct_kernel_names(self, library):
+        names = {e.kernel.kernel_name for e in library.entries}
+        assert names == {"tc_kernel_v0", "tc_kernel_v1"}
+
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            KernelLibrary("ab-ak-kb", [])
+
+    def test_mixed_size_specs(self):
+        lib = KernelLibrary(
+            "ab-ak-kb",
+            [{"a": 64, "b": 64, "k": 64}, 256],
+            generator=Cogent(arch="V100", top_k=4),
+        )
+        assert lib.entries[0].sizes["a"] == 64
+        assert lib.entries[1].sizes["a"] == 256
+
+
+class TestSelect:
+    def test_nearest_by_log_distance(self, library):
+        assert library.select(16).sizes["a"] == 16
+        assert library.select(48).sizes["a"] == 48
+        assert library.select(20).sizes["a"] == 16
+        assert library.select(40).sizes["a"] == 48
+
+    def test_per_index_sizes(self, library):
+        mixed = {"a": 48, "b": 48, "c": 48, "d": 48, "e": 16, "f": 16}
+        entry = library.select(mixed)
+        assert entry.sizes["a"] == 48
+
+
+class TestDispatch:
+    def test_sizes_from_operands(self, library):
+        c = parse("abcd-aebf-dfce",
+                  {"a": 5, "b": 4, "c": 3, "d": 6, "e": 2, "f": 3})
+        a, b = random_operands(c)
+        sizes = library.sizes_from_operands(a, b)
+        assert sizes == c.sizes
+
+    def test_inconsistent_shapes_rejected(self, library):
+        a = np.zeros((5, 2, 4, 3))
+        b = np.zeros((6, 9, 3, 2))  # f extent disagrees (3 vs 9)
+        with pytest.raises(ValueError):
+            library.sizes_from_operands(a, b)
+
+    def test_wrong_rank_rejected(self, library):
+        with pytest.raises(ValueError):
+            library.sizes_from_operands(np.zeros((5, 2)), np.zeros((2,) * 4))
+
+    def test_dispatch_matches_einsum_near_small(self, library):
+        c = parse("abcd-aebf-dfce",
+                  {"a": 10, "b": 9, "c": 8, "d": 11, "e": 5, "f": 6})
+        a, b = random_operands(c, seed=2)
+        got = library.dispatch(a, b)
+        assert np.allclose(got, reference_contract(c, a, b))
+
+    def test_dispatch_matches_einsum_near_large(self, library):
+        c = parse("abcd-aebf-dfce",
+                  {"a": 40, "b": 13, "c": 11, "d": 37, "e": 7, "f": 9})
+        a, b = random_operands(c, seed=3)
+        got = library.dispatch(a, b)
+        assert np.allclose(got, reference_contract(c, a, b))
+
+    def test_dispatch_with_tiny_actual_sizes_clamps_tiles(self, library):
+        c = parse("abcd-aebf-dfce", 3)
+        a, b = random_operands(c, seed=4)
+        got = library.dispatch(a, b)
+        assert np.allclose(got, reference_contract(c, a, b))
+
+
+class TestClampConfig:
+    def test_tiles_clamped_to_extents(self):
+        c = parse("ab-ak-kb", {"a": 4, "b": 4, "k": 4})
+        big = parse("ab-ak-kb", {"a": 64, "b": 64, "k": 64})
+        cfg = config_from_spec(
+            big, tb_x=[("a", 16)], tb_y=[("b", 16)], tb_k=[("k", 16)]
+        )
+        clamped = clamp_config(cfg, c)
+        clamped.validate_for(c)
+        assert clamped.tile("a") == 4
+
+
+class TestEmission:
+    def test_library_source_contains_every_version(self, library):
+        src = library.cuda_library_source()
+        assert src.count("__global__") == 2
+        assert "tc_kernel_v0" in src and "tc_kernel_v1" in src
+
+    def test_dispatcher_present_and_balanced(self, library):
+        src = library.cuda_library_source()
+        assert "select_version(" in src
+        assert src.count("{") == src.count("}")

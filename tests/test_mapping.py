@@ -1,0 +1,162 @@
+"""Tests for kernel configurations (repro.core.mapping)."""
+
+import pytest
+
+from repro.core.mapping import (
+    ConfigError,
+    Dim,
+    IndexMapping,
+    KernelConfig,
+    config_from_spec,
+)
+from repro.core.parser import parse
+
+
+@pytest.fixture
+def eq1():
+    return parse("abcd-aebf-dfce", 16)
+
+
+def _config(eq1, **kw):
+    return config_from_spec(eq1, **kw)
+
+
+class TestIndexMapping:
+    def test_tile_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            IndexMapping("a", Dim.TB_X, 0)
+
+    def test_str(self):
+        assert str(IndexMapping("a", Dim.TB_X, 8)) == "a->TBx:8"
+
+
+class TestDerivedGeometry:
+    def test_tb_sizes_multiply(self, eq1):
+        cfg = _config(
+            eq1, tb_x=[("a", 4), ("b", 2)], tb_y=[("c", 8)],
+            tb_k=[("e", 4), ("f", 2)],
+        )
+        assert cfg.tb_x_size == 8
+        assert cfg.tb_y_size == 8
+        assert cfg.threads_per_block == 64
+        assert cfg.tb_k_tile == 8
+
+    def test_reg_sizes(self, eq1):
+        cfg = _config(
+            eq1, tb_x=[("a", 4)], tb_y=[("c", 4)],
+            reg_x=[("b", 4)], reg_y=[("d", 2)],
+        )
+        assert cfg.reg_x_size == 4
+        assert cfg.reg_y_size == 2
+        assert cfg.block_tile_x == 16
+        assert cfg.block_tile_y == 8
+
+    def test_empty_dims_default_to_one(self, eq1):
+        cfg = _config(eq1, tb_x=[("a", 4)])
+        assert cfg.tb_y_size == 1
+        assert cfg.reg_x_size == 1
+        assert cfg.reg_y_size == 1
+
+    def test_smem_elements(self, eq1):
+        cfg = _config(
+            eq1, tb_x=[("a", 4)], tb_y=[("c", 4)],
+            reg_x=[("b", 2)], reg_y=[("d", 2)], tb_k=[("e", 4)],
+        )
+        # (4*2 + 4*2) * 4 = 64
+        assert cfg.smem_elements() == 64
+        assert cfg.smem_bytes(8) == 512
+
+    def test_registers_scale_with_dtype(self, eq1):
+        cfg = _config(eq1, tb_x=[("a", 4)], reg_x=[("b", 4)],
+                      reg_y=[("d", 4)])
+        assert cfg.registers_per_thread(8) > cfg.registers_per_thread(4)
+
+    def test_num_thread_blocks(self, eq1):
+        cfg = _config(eq1, tb_x=[("a", 4)], tb_y=[("c", 8)])
+        # a: 16/4=4, c: 16/8=2, b and d grid tile 1: 16 each.
+        assert cfg.num_thread_blocks(eq1) == 4 * 2 * 16 * 16
+
+    def test_num_steps(self, eq1):
+        cfg = _config(eq1, tb_k=[("e", 4), ("f", 8)])
+        assert cfg.num_steps(eq1) == 4 * 2
+
+    def test_num_tiles_ceil(self, eq1):
+        cfg = _config(eq1, tb_x=[("a", 5)])
+        assert cfg.num_tiles("a", eq1) == 4  # ceil(16/5)
+
+
+class TestValidation:
+    def test_duplicate_mapping_rejected(self):
+        with pytest.raises(ConfigError):
+            KernelConfig((
+                IndexMapping("a", Dim.TB_X, 4),
+                IndexMapping("a", Dim.REG_X, 2),
+            ))
+
+    def test_internal_on_external_dim_rejected(self, eq1):
+        with pytest.raises(ConfigError):
+            _config(eq1, tb_x=[("e", 4)])
+
+    def test_external_on_tbk_rejected(self, eq1):
+        with pytest.raises(ConfigError):
+            _config(eq1, tb_k=[("a", 4)])
+
+    def test_y_side_external_on_tbx_rejected(self, eq1):
+        # c is an external of B (the y-side input for Eq. 1).
+        with pytest.raises(ConfigError):
+            _config(eq1, tb_x=[("c", 4)])
+
+    def test_x_side_external_on_regy_rejected(self, eq1):
+        with pytest.raises(ConfigError):
+            _config(eq1, reg_y=[("b", 4)])
+
+    def test_tile_exceeding_extent_rejected(self, eq1):
+        with pytest.raises(ConfigError):
+            _config(eq1, tb_x=[("a", 32)])
+
+    def test_grid_tile_must_be_one(self, eq1):
+        with pytest.raises(ConfigError):
+            _config(eq1, grid=[("a", 2)])
+
+    def test_missing_index_rejected(self, eq1):
+        cfg = KernelConfig((IndexMapping("a", Dim.TB_X, 4),))
+        with pytest.raises(ConfigError):
+            cfg.validate_for(eq1)
+
+    def test_unknown_index_rejected(self, eq1):
+        cfg = _config(eq1)
+        extra = KernelConfig(
+            cfg.mappings + (IndexMapping("z", Dim.GRID, 1),)
+        )
+        with pytest.raises(ConfigError):
+            extra.validate_for(eq1)
+
+
+class TestFromSpec:
+    def test_fill_defaults_maps_everything(self, eq1):
+        cfg = _config(eq1, tb_x=[("a", 4)])
+        mapped = {m.index for m in cfg.mappings}
+        assert mapped == set(eq1.all_indices)
+
+    def test_defaults_put_externals_on_grid(self, eq1):
+        cfg = _config(eq1, tb_x=[("a", 4)])
+        assert cfg.mapping_of("c").dim is Dim.GRID
+        assert cfg.mapping_of("c").tile == 1
+
+    def test_defaults_put_internals_on_tbk(self, eq1):
+        cfg = _config(eq1, tb_x=[("a", 4)])
+        assert cfg.mapping_of("e").dim is Dim.TB_K
+
+    def test_order_within_dim_preserved(self, eq1):
+        cfg = _config(eq1, tb_x=[("a", 2), ("b", 2)])
+        assert cfg.indices_on(Dim.TB_X) == ("a", "b")
+
+    def test_describe_mentions_all_used_dims(self, eq1):
+        cfg = _config(eq1, tb_x=[("a", 4)], tb_k=[("e", 2)])
+        desc = cfg.describe()
+        assert "TBx=[a:4]" in desc
+        assert "TBk=[e:2" in desc
+
+    def test_mapping_of_unknown_raises(self, eq1):
+        with pytest.raises(ConfigError):
+            _config(eq1).mapping_of("zz")

@@ -1,0 +1,135 @@
+"""Tests for the index-merging extension (repro.core.merging)."""
+
+import numpy as np
+import pytest
+
+from repro import Cogent
+from repro.core.ir import ContractionError
+from repro.core.merging import (
+    can_merge,
+    merge_candidates,
+    merge_operands,
+    merge_pair,
+    normalize,
+    unmerge_output,
+)
+from repro.core.parser import parse
+from repro.gpu.executor import random_operands, reference_contract
+
+
+@pytest.fixture
+def gemm_like():
+    # abcd-abef-efcd: (a,b), (e,f), (c,d) all fuse -> plain GEMM.
+    return parse("abcd-abef-efcd",
+                 {"a": 4, "b": 5, "c": 3, "d": 4, "e": 2, "f": 3})
+
+
+class TestCanMerge:
+    def test_adjacent_in_all_tensors(self, gemm_like):
+        assert can_merge(gemm_like, "a", "b")
+        assert can_merge(gemm_like, "e", "f")
+        assert can_merge(gemm_like, "c", "d")
+
+    def test_wrong_order_rejected(self, gemm_like):
+        assert not can_merge(gemm_like, "b", "a")
+
+    def test_not_adjacent_everywhere(self):
+        # e,f adjacent in A but reversed in B.
+        c = parse("abcd-abef-fecd", 4)
+        assert not can_merge(c, "e", "f")
+
+    def test_different_tensor_sets_rejected(self, gemm_like):
+        # a (in A,C) and e (in A,B) never co-occur consistently.
+        assert not can_merge(gemm_like, "b", "e")
+
+    def test_self_merge_rejected(self, gemm_like):
+        assert not can_merge(gemm_like, "a", "a")
+
+    def test_eq1_has_no_mergeable_pairs(self, eq1_repr):
+        assert merge_candidates(eq1_repr) == []
+
+
+class TestMergePair:
+    def test_merges_in_all_tensors(self, gemm_like):
+        merged, spec = merge_pair(gemm_like, "a", "b")
+        assert spec.merged_name == "ab"
+        assert merged.c.indices == ("ab", "c", "d")
+        assert merged.a.indices == ("ab", "e", "f")
+        assert merged.extent("ab") == 20
+
+    def test_unmergeable_raises(self, gemm_like):
+        with pytest.raises(ContractionError):
+            merge_pair(gemm_like, "a", "c")
+
+    def test_flops_preserved(self, gemm_like):
+        merged, _ = merge_pair(gemm_like, "a", "b")
+        assert merged.flops == gemm_like.flops
+
+    def test_strides_bit_compatible(self, gemm_like):
+        merged, _ = merge_pair(gemm_like, "a", "b")
+        # Stride of the merged index equals the stride of its low part;
+        # following indices keep their original strides.
+        assert merged.strides_of(merged.a)[0] == \
+            gemm_like.strides_of(gemm_like.a)[0]
+        assert merged.strides_of(merged.a)[1] == \
+            gemm_like.strides_of(gemm_like.a)[2]
+
+
+class TestNormalize:
+    def test_gemm_like_becomes_matmul(self, gemm_like):
+        merged, specs = normalize(gemm_like)
+        assert len(merged.all_indices) == 3
+        assert len(specs) == 3
+        assert merged.c.ndim == 2
+
+    def test_fixpoint_merges_chains(self):
+        # a,b,c all adjacent in both tensors containing them.
+        c = parse("abcd-abce-ed", {"a": 2, "b": 3, "c": 4, "d": 5, "e": 6})
+        merged, specs = normalize(c)
+        assert merged.c.ndim == 2  # (abc, d)
+        assert len(specs) == 2
+
+    def test_idempotent(self, eq1_repr):
+        merged, specs = normalize(eq1_repr)
+        assert specs == []
+        assert merged is eq1_repr
+
+
+class TestNumerics:
+    def test_merge_operands_roundtrip(self, gemm_like):
+        merged, specs = normalize(gemm_like)
+        a, b = random_operands(gemm_like, seed=1)
+        a2, b2 = merge_operands(gemm_like, specs, a, b)
+        assert a2.shape == merged.extents_of(merged.a)
+        got_merged = reference_contract(merged, a2, b2)
+        got = unmerge_output(merged, specs, got_merged)
+        want = reference_contract(gemm_like, a, b)
+        assert np.allclose(got, want)
+
+    def test_generator_with_merge_is_correct(self, gemm_like):
+        gen = Cogent(arch="V100", allow_merge=True)
+        kernel = gen.generate(gemm_like)
+        assert kernel.merge_specs
+        a, b = random_operands(gemm_like, seed=2)
+        got = kernel.execute(a, b)
+        want = reference_contract(gemm_like, a, b)
+        assert np.allclose(got, want)
+
+    def test_generator_merge_plus_split(self):
+        c = parse("abc-abd-dc", {"a": 8, "b": 8, "c": 16, "d": 16})
+        gen = Cogent(arch="V100", allow_merge=True, split_factors=(4,))
+        kernel = gen.generate(c)
+        assert kernel.merge_specs  # (a,b) fuse
+        a, b = random_operands(c, seed=3)
+        assert np.allclose(kernel.execute(a, b),
+                           reference_contract(c, a, b))
+
+    def test_merge_never_hurts_model_cost(self):
+        sizes = {"a": 4, "b": 4, "c": 4, "d": 4, "e": 4, "f": 4}
+        c = parse("abcd-abef-efcd", sizes)
+        base = Cogent(arch="V100", allow_merge=False, allow_split=False)
+        merged = Cogent(arch="V100", allow_merge=True, allow_split=False)
+        t_base = base.generate(c).candidates[0].simulated.time_s
+        t_merged = merged.generate(c).candidates[0].simulated.time_s
+        # Tiny extents: fusing them is what enables coalescing at all.
+        assert t_merged <= t_base

@@ -1,0 +1,93 @@
+"""Tests for kernel metric reports (repro.gpu.metrics)."""
+
+import pytest
+
+from repro import Cogent, parse
+from repro.core.mapping import config_from_spec
+from repro.core.plan import KernelPlan
+from repro.gpu.metrics import collect_metrics, roofline_chart
+
+
+@pytest.fixture(scope="module")
+def metrics(v100=None):
+    from repro.gpu.arch import VOLTA_V100
+
+    kernel = Cogent(arch="V100", top_k=4).generate(
+        "abcd-aebf-dfce", sizes=48
+    )
+    return collect_metrics(
+        kernel.plan, VOLTA_V100,
+        simulated=kernel.candidates[0].simulated,
+    )
+
+
+class TestMetrics:
+    def test_efficiencies_bounded(self, metrics):
+        assert 0 < metrics.flop_efficiency <= 1
+        assert 0 < metrics.dram_utilization <= 1.01
+        assert 0 < metrics.achieved_occupancy <= 1
+        assert 0 < metrics.wave_efficiency <= 1
+
+    def test_ridge_matches_arch(self, metrics, v100):
+        assert metrics.ridge_intensity == pytest.approx(
+            v100.peak_gflops_dp / v100.dram_bandwidth_gbs
+        )
+
+    def test_bound_consistent_with_intensity(self, metrics):
+        # Compute-bound kernels should sit at/above the ridge point
+        # (the converse need not hold due to occupancy effects).
+        if metrics.bound == "fma":
+            assert metrics.arithmetic_intensity > \
+                metrics.ridge_intensity * 0.5
+
+    def test_report_text(self, metrics):
+        text = metrics.report()
+        assert "achieved occupancy" in text
+        assert "arithmetic intensity" in text
+        assert "GFLOP/s" in text
+
+    def test_memory_bound_kernel_detected(self, v100):
+        # A one-index transform is strongly memory bound.
+        c = parse("abcd-ebcd-ae", 64)
+        plan = KernelPlan(
+            c,
+            config_from_spec(
+                c, tb_x=[("a", 16)], tb_y=[("b", 16)], tb_k=[("e", 16)]
+            ),
+        )
+        m = collect_metrics(plan, v100)
+        assert m.bound == "dram"
+        assert m.arithmetic_intensity < m.ridge_intensity
+
+
+class TestRoofline:
+    def test_chart_contains_roof_and_markers(self, metrics):
+        chart = roofline_chart([metrics])
+        assert "/" in chart   # bandwidth slope
+        assert "_" in chart   # compute roof
+        assert "1" in chart   # the kernel marker
+
+    def test_multiple_kernels(self, metrics):
+        # Identical kernels overprint the same cell: the last marker
+        # wins; distinct kernels each get their own.
+        chart = roofline_chart([metrics, metrics, metrics])
+        assert "3" in chart
+
+    def test_distinct_kernels_get_distinct_markers(self, metrics, v100):
+        from repro.core.mapping import config_from_spec
+        from repro.core.plan import KernelPlan
+        from repro import parse
+
+        c = parse("abcd-ebcd-ae", 64)
+        plan = KernelPlan(
+            c,
+            config_from_spec(
+                c, tb_x=[("a", 16)], tb_y=[("b", 16)], tb_k=[("e", 16)]
+            ),
+        )
+        other = collect_metrics(plan, v100)
+        chart = roofline_chart([metrics, other])
+        assert "1" in chart and "2" in chart
+
+    def test_empty_list(self):
+        assert "no kernels" in roofline_chart([])

@@ -1,0 +1,141 @@
+"""Tests for contraction networks (repro.core.network)."""
+
+import numpy as np
+import pytest
+
+from repro import Cogent
+from repro.core.ir import ContractionError
+from repro.core.network import (
+    NetworkContractor,
+    contract_network,
+    optimal_path,
+    parse_network,
+)
+
+
+@pytest.fixture(scope="module")
+def gen():
+    return Cogent(arch="V100", top_k=2)
+
+
+class TestParse:
+    def test_basic(self):
+        spec = parse_network("ab,bc,cd->ad", 8)
+        assert len(spec.inputs) == 3
+        assert spec.output == ("a", "d")
+
+    def test_sizes_dict(self):
+        spec = parse_network("ab,bc->ac", {"a": 2, "b": 3, "c": 4})
+        assert spec.sizes["b"] == 3
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(ContractionError):
+            parse_network("ab,bc", 4)
+
+    def test_single_tensor_rejected(self):
+        with pytest.raises(ContractionError):
+            parse_network("ab->ab", 4)
+
+    def test_unknown_output_index_rejected(self):
+        with pytest.raises(ContractionError):
+            parse_network("ab,bc->az", 4)
+
+
+class TestOptimalPath:
+    def test_chain_order_respects_sizes(self):
+        # With b huge, contracting (A,B) first shrinks the problem.
+        spec = parse_network(
+            "ab,bc,cd->ad", {"a": 8, "b": 512, "c": 4, "d": 8}
+        )
+        path = optimal_path(spec)
+        first = path.steps[0]
+        assert {first.left, first.right} == {0, 1}
+
+    def test_reverse_skew_flips_order(self):
+        spec = parse_network(
+            "ab,bc,cd->ad", {"a": 8, "b": 4, "c": 512, "d": 8}
+        )
+        path = optimal_path(spec)
+        first = path.steps[0]
+        assert {first.left, first.right} == {1, 2}
+
+    def test_total_flops_counts_both_steps(self):
+        spec = parse_network(
+            "ab,bc,cd->ad", {"a": 4, "b": 4, "c": 4, "d": 4}
+        )
+        path = optimal_path(spec)
+        assert path.total_flops == 2 * (4 ** 3) * 2
+
+    def test_steps_form_valid_contractions(self):
+        spec = parse_network("abk,kcl,ld->abcd", 6)
+        path = optimal_path(spec)
+        for step in path.steps:
+            assert step.contraction.flops > 0
+
+    def test_four_tensor_path_length(self):
+        spec = parse_network("ab,bc,cd,de->ae", 6)
+        assert len(optimal_path(spec).steps) == 3
+
+    def test_disconnected_outer_product_allowed(self):
+        # a,b networks with no shared index: steps become outer
+        # products, which the binary IR supports.
+        spec = parse_network("a,b->ab", {"a": 4, "b": 5})
+        path = optimal_path(spec)
+        assert len(path.steps) == 1
+        assert path.steps[0].contraction.internal_indices == ()
+
+
+class TestExecution:
+    def test_chain_matmul(self, gen):
+        rng = np.random.default_rng(0)
+        a = rng.random((6, 9))
+        b = rng.random((9, 4))
+        c = rng.random((4, 7))
+        got = contract_network("ab,bc,cd->ad", a, b, c, generator=gen)
+        assert np.allclose(got, a @ b @ c)
+
+    def test_output_permutation_applied(self, gen):
+        rng = np.random.default_rng(1)
+        a = rng.random((5, 6))
+        b = rng.random((6, 4))
+        got = contract_network("ab,bc->ca", a, b, generator=gen)
+        assert np.allclose(got, (a @ b).T)
+
+    def test_higher_order_network(self, gen):
+        rng = np.random.default_rng(2)
+        x = rng.random((5, 4, 6))
+        y = rng.random((6, 3, 7))
+        z = rng.random((7, 4))
+        got = contract_network("abk,kcl,ld->abcd", x, y, z,
+                               generator=gen)
+        want = np.einsum("abk,kcl,ld->abcd", x, y, z)
+        assert np.allclose(got, want)
+
+    def test_four_tensors(self, gen):
+        rng = np.random.default_rng(3)
+        ops = [rng.random((5, 6)), rng.random((6, 7)),
+               rng.random((7, 4)), rng.random((4, 8))]
+        got = contract_network("ab,bc,cd,de->ae", *ops, generator=gen)
+        want = ops[0] @ ops[1] @ ops[2] @ ops[3]
+        assert np.allclose(got, want)
+
+    def test_reference_matches_execute(self, gen):
+        spec = parse_network("ab,bc,cd->ad",
+                             {"a": 5, "b": 6, "c": 4, "d": 7})
+        nc = NetworkContractor(spec, gen)
+        rng = np.random.default_rng(4)
+        ops = [rng.random((5, 6)), rng.random((6, 4)),
+               rng.random((4, 7))]
+        assert np.allclose(nc.execute(*ops), nc.reference(*ops))
+
+    def test_wrong_operand_count_rejected(self, gen):
+        spec = parse_network("ab,bc->ac", 4)
+        nc = NetworkContractor(spec, gen)
+        with pytest.raises(ValueError):
+            nc.execute(np.zeros((4, 4)))
+
+    def test_predicted_time_positive(self, gen):
+        spec = parse_network("ab,bc,cd->ad", 64)
+        nc = NetworkContractor(spec, gen)
+        assert nc.predicted_time_s() > 0
+        assert "network" in nc.summary()

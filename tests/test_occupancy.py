@@ -1,0 +1,76 @@
+"""Tests for the occupancy calculator (repro.gpu.occupancy)."""
+
+import pytest
+
+from repro.gpu.arch import get_arch
+from repro.gpu.occupancy import compute_occupancy
+
+
+class TestLimits:
+    def test_thread_limited(self, v100):
+        occ = compute_occupancy(v100, 1024, 0, 32)
+        assert occ.blocks_per_sm == 2
+        assert occ.limiter == "threads"
+        assert occ.fraction == 1.0
+
+    def test_smem_limited(self, v100):
+        occ = compute_occupancy(v100, 64, 48 * 1024, 32)
+        assert occ.blocks_per_sm == 2
+        assert occ.limiter == "shared_memory"
+
+    def test_register_limited(self, v100):
+        occ = compute_occupancy(v100, 256, 0, 128)
+        # 65536 / (128*256) = 2 blocks.
+        assert occ.blocks_per_sm == 2
+        assert occ.limiter == "registers"
+
+    def test_max_blocks_limited(self, v100):
+        occ = compute_occupancy(v100, 32, 0, 16)
+        assert occ.blocks_per_sm == 32
+        assert occ.limiter == "max_blocks"
+
+    def test_oversized_block_cannot_run(self, v100):
+        occ = compute_occupancy(v100, 2048, 0, 32)
+        assert occ.blocks_per_sm == 0
+        assert occ.limiter == "threads_per_block"
+
+    def test_oversized_smem_cannot_run(self, v100):
+        occ = compute_occupancy(v100, 128, 200 * 1024, 32)
+        assert occ.blocks_per_sm == 0
+        assert occ.limiter == "shared_memory_per_block"
+
+    def test_too_many_registers_cannot_run(self, v100):
+        occ = compute_occupancy(v100, 128, 0, 300)
+        assert occ.blocks_per_sm == 0
+        assert occ.limiter == "registers_per_thread"
+
+
+class TestFraction:
+    def test_fraction_capped_at_one(self, v100):
+        occ = compute_occupancy(v100, 2048 // 2, 0, 16)
+        assert occ.fraction <= 1.0
+
+    def test_active_threads(self, v100):
+        occ = compute_occupancy(v100, 256, 16 * 1024, 64)
+        assert occ.active_threads == occ.blocks_per_sm * 256
+
+    def test_p100_smaller_smem_than_v100(self, p100, v100):
+        p = compute_occupancy(p100, 128, 24 * 1024, 32)
+        v = compute_occupancy(v100, 128, 24 * 1024, 32)
+        assert p.blocks_per_sm <= v.blocks_per_sm
+
+
+class TestArchLookup:
+    def test_get_arch_case_insensitive(self):
+        assert get_arch("v100").name == "V100"
+
+    def test_get_arch_unknown(self):
+        with pytest.raises(KeyError):
+            get_arch("H100")
+
+    def test_peak_gflops_by_dtype(self, v100):
+        assert v100.peak_gflops(8) == v100.peak_gflops_dp
+        assert v100.peak_gflops(4) == v100.peak_gflops_sp
+
+    def test_max_warps(self, v100):
+        assert v100.max_warps_per_sm == 64

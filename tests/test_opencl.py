@@ -1,0 +1,109 @@
+"""Tests for the OpenCL backend: structure, and end-to-end execution of
+the emitted kernel text through the pthread work-group harness."""
+
+import numpy as np
+import pytest
+
+from repro.core.codegen.clemu import (
+    compile_and_run_opencl,
+    generate_opencl_harness,
+)
+from repro.core.codegen.opencl import generate_opencl_kernel
+from repro.core.mapping import config_from_spec
+from repro.core.parser import parse
+from repro.core.plan import KernelPlan
+from repro.gpu.executor import random_operands, reference_contract
+
+from .conftest import requires_cc
+
+
+@pytest.fixture
+def plan(eq1_small):
+    cfg = config_from_spec(
+        eq1_small,
+        tb_x=[("a", 4)], tb_y=[("d", 2)],
+        reg_x=[("b", 2)], reg_y=[("c", 3)],
+        tb_k=[("e", 2), ("f", 2)],
+    )
+    return KernelPlan(eq1_small, cfg)
+
+
+class TestStructure:
+    def test_kernel_qualifiers(self, plan):
+        src = generate_opencl_kernel(plan)
+        assert "__kernel void tc_kernel(" in src
+        assert "__global double* restrict g_C" in src
+        assert "__local double s_a" in src
+
+    def test_barriers_replace_syncthreads(self, plan):
+        src = generate_opencl_kernel(plan)
+        assert src.count("barrier(CLK_LOCAL_MEM_FENCE);") == 2
+        assert "__syncthreads" not in src
+
+    def test_workgroup_size_attribute(self, plan):
+        src = generate_opencl_kernel(plan)
+        assert f"reqd_work_group_size({plan.tb_x}, {plan.tb_y}, 1)" in src
+
+    def test_fp64_pragma_for_double(self, plan):
+        src = generate_opencl_kernel(plan)
+        assert "cl_khr_fp64" in src
+
+    def test_no_fp64_pragma_for_float(self, eq1_small):
+        cfg = config_from_spec(eq1_small, tb_x=[("a", 4)])
+        src = generate_opencl_kernel(KernelPlan(eq1_small, cfg, 4))
+        assert "cl_khr_fp64" not in src
+        assert "float" in src
+
+    def test_braces_balanced(self, plan):
+        src = generate_opencl_kernel(plan)
+        assert src.count("{") == src.count("}")
+
+    def test_local_ids_used(self, plan):
+        src = generate_opencl_kernel(plan)
+        assert "get_local_id(0)" in src
+        assert "get_local_id(1)" in src
+        assert "get_group_id(0)" in src
+
+    def test_harness_embeds_kernel(self, plan):
+        harness = generate_opencl_harness(plan)
+        assert "pthread_barrier_wait" in harness
+        assert "__kernel" in harness
+        assert "int main(" in harness
+
+
+@requires_cc
+class TestExecution:
+    def test_eq1(self, plan, eq1_small):
+        a, b = random_operands(eq1_small, seed=1)
+        got = compile_and_run_opencl(plan, a, b)
+        assert np.allclose(got, reference_contract(eq1_small, a, b))
+
+    def test_matmul(self):
+        c = parse("ab-ak-kb", {"a": 9, "b": 7, "k": 5})
+        cfg = config_from_spec(
+            c, tb_x=[("a", 4)], tb_y=[("b", 4)], tb_k=[("k", 4)]
+        )
+        plan = KernelPlan(c, cfg)
+        a, b = random_operands(c, seed=2)
+        got = compile_and_run_opencl(plan, a, b)
+        assert np.allclose(got, a @ b)
+
+    def test_single_precision(self):
+        c = parse("abc-adc-bd", {"a": 6, "b": 5, "c": 4, "d": 3})
+        cfg = config_from_spec(
+            c, tb_x=[("a", 3)], tb_y=[("b", 2)], tb_k=[("d", 2)]
+        )
+        plan = KernelPlan(c, cfg, 4)
+        a, b = random_operands(c, np.float32, seed=3)
+        got = compile_and_run_opencl(plan, a, b)
+        want = reference_contract(c, a, b)
+        assert np.allclose(got, want, rtol=1e-4, atol=1e-4)
+
+    def test_cuda_and_opencl_agree(self, plan, eq1_small):
+        """The two GPU backends must produce identical schedules."""
+        from repro.core.codegen.cemu import compile_and_run
+
+        a, b = random_operands(eq1_small, seed=4)
+        via_c = compile_and_run(plan, a, b)
+        via_cl = compile_and_run_opencl(plan, a, b)
+        assert np.allclose(via_c, via_cl)

@@ -1,0 +1,149 @@
+"""Tests for expression parsing (repro.core.parser)."""
+
+import pytest
+
+from repro.core.ir import ContractionError
+from repro.core.parser import (
+    parse,
+    parse_compact,
+    parse_einstein,
+    parse_einsum,
+    parse_size_spec,
+    resolve_sizes,
+)
+
+
+class TestCompact:
+    def test_eq1(self):
+        c = parse_compact("abcd-aebf-dfce", 16)
+        assert c.c.indices == ("a", "b", "c", "d")
+        assert c.a.indices == ("a", "e", "b", "f")
+        assert c.b.indices == ("d", "f", "c", "e")
+
+    def test_default_tensor_names(self):
+        c = parse_compact("ab-ak-kb", 4)
+        assert (c.c.name, c.a.name, c.b.name) == ("C", "A", "B")
+
+    def test_sizes_int_applied_to_all(self):
+        c = parse_compact("ab-ak-kb", 7)
+        assert all(c.extent(i) == 7 for i in c.all_indices)
+
+    def test_sizes_dict(self):
+        c = parse_compact("ab-ak-kb", {"a": 2, "b": 3, "k": 4})
+        assert c.extent("k") == 4
+
+    def test_sizes_default_none_is_16(self):
+        assert parse_compact("ab-ak-kb").extent("a") == 16
+
+    def test_wrong_field_count_rejected(self):
+        with pytest.raises(ContractionError):
+            parse_compact("ab-ak", 4)
+
+    def test_empty_field_rejected(self):
+        with pytest.raises(ContractionError):
+            parse_compact("ab--kb", 4)
+
+    def test_whitespace_tolerated(self):
+        c = parse_compact("  ab-ak-kb  ", 4)
+        assert c.c.indices == ("a", "b")
+
+
+class TestEinstein:
+    def test_basic(self):
+        c = parse_einstein("C[a,b] = A[a,k] * B[k,b]", 8)
+        assert c.c.name == "C"
+        assert c.internal_indices == ("k",)
+
+    def test_multichar_names(self):
+        c = parse_einstein(
+            "T3[h1,h2,p4] = T2[h1,p7,p4] * V[p7,h2]",
+            {"h1": 4, "h2": 4, "p4": 8, "p7": 8},
+        )
+        assert c.c.name == "T3"
+        assert c.internal_indices == ("p7",)
+
+    def test_plus_equals(self):
+        c = parse_einstein("C[a,b] += A[a,k] * B[k,b]", 4)
+        assert c.external_indices == ("a", "b")
+
+    def test_trailing_semicolon(self):
+        c = parse_einstein("C[a,b] = A[a,k] * B[k,b];", 4)
+        assert c.internal_indices == ("k",)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ContractionError):
+            parse_einstein("C[a,b] = A[a,k] + B[k,b]", 4)
+
+    def test_empty_index_list_rejected(self):
+        with pytest.raises(ContractionError):
+            parse_einstein("C[] = A[a] * B[a]", 4)
+
+
+class TestEinsum:
+    def test_basic(self):
+        c = parse_einsum("aebf,dfce->abcd", 16)
+        assert c.a.indices == ("a", "e", "b", "f")
+        assert c.c.indices == ("a", "b", "c", "d")
+
+    def test_missing_arrow_rejected(self):
+        with pytest.raises(ContractionError):
+            parse_einsum("ab,bc", 4)
+
+    def test_three_inputs_rejected(self):
+        with pytest.raises(ContractionError):
+            parse_einsum("ab,bc,cd->ad", 4)
+
+    def test_empty_subscript_rejected(self):
+        with pytest.raises(ContractionError):
+            parse_einsum("ab,->ab", 4)
+
+
+class TestAutoDetect:
+    def test_compact_detected(self):
+        assert parse("ab-ak-kb", 4).internal_indices == ("k",)
+
+    def test_einstein_detected(self):
+        assert parse("C[a,b] = A[a,k] * B[k,b]", 4).c.name == "C"
+
+    def test_einsum_detected(self):
+        assert parse("ak,kb->ab", 4).internal_indices == ("k",)
+
+
+class TestSizeResolution:
+    def test_star_default(self):
+        c = parse("ab-ak-kb", {"a": 2, "*": 9})
+        assert c.extent("b") == 9
+        assert c.extent("a") == 2
+
+    def test_missing_without_default_rejected(self):
+        with pytest.raises(ContractionError):
+            parse("ab-ak-kb", {"a": 2})
+
+    def test_resolve_sizes_preserves_index_order(self):
+        out = resolve_sizes(("b", "a"), {"a": 1, "b": 2})
+        assert list(out) == ["b", "a"]
+
+
+class TestSizeSpec:
+    def test_none(self):
+        assert parse_size_spec(None) is None
+
+    def test_empty(self):
+        assert parse_size_spec("  ") is None
+
+    def test_bare_int(self):
+        assert parse_size_spec("24") == 24
+
+    def test_pairs(self):
+        assert parse_size_spec("a=16,b=32") == {"a": 16, "b": 32}
+
+    def test_star(self):
+        assert parse_size_spec("a=16,*=24") == {"a": 16, "*": 24}
+
+    def test_bad_pair_rejected(self):
+        with pytest.raises(ContractionError):
+            parse_size_spec("a16")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ContractionError):
+            parse_size_spec("a=x")

@@ -1,0 +1,148 @@
+"""Tests for resolved kernel plans (repro.core.plan)."""
+
+import pytest
+
+from repro.core.mapping import Dim, config_from_spec
+from repro.core.parser import parse
+from repro.core.plan import Axis, KernelPlan, ceil_div, decompose
+
+
+@pytest.fixture
+def eq1():
+    return parse(
+        "abcd-aebf-dfce",
+        {"a": 16, "b": 8, "c": 12, "d": 10, "e": 6, "f": 4},
+    )
+
+
+@pytest.fixture
+def plan(eq1):
+    cfg = config_from_spec(
+        eq1,
+        tb_x=[("a", 8)],
+        tb_y=[("c", 4)],
+        reg_x=[("b", 4)],
+        reg_y=[("d", 2)],
+        tb_k=[("e", 3), ("f", 2)],
+    )
+    return KernelPlan(eq1, cfg)
+
+
+class TestHelpers:
+    def test_ceil_div(self):
+        assert ceil_div(10, 4) == 3
+        assert ceil_div(8, 4) == 2
+
+    def test_decompose_fastest_first(self):
+        assert decompose(7, [4, 2]) == (3, 1)
+
+    def test_decompose_roundtrip(self):
+        sizes = [3, 4, 5]
+        for flat in range(60):
+            coords = decompose(flat, sizes)
+            back = coords[0] + 3 * (coords[1] + 4 * coords[2])
+            assert back == flat
+
+    def test_axis_num_tiles(self):
+        assert Axis("a", 10, 4).num_tiles == 3
+
+
+class TestGeometry:
+    def test_dtype_validation(self, eq1):
+        cfg = config_from_spec(eq1, tb_x=[("a", 4)])
+        with pytest.raises(ValueError):
+            KernelPlan(eq1, cfg, dtype_bytes=2)
+
+    def test_block_axes_order(self, plan):
+        # TB_X, REG_X, TB_Y, REG_Y, then GRID.
+        assert [a.index for a in plan.block_axes] == ["a", "b", "c", "d"]
+
+    def test_step_axes_order(self, plan):
+        assert [a.index for a in plan.step_axes] == ["e", "f"]
+
+    def test_num_blocks(self, plan):
+        # a: 16/8=2, b: 8/4=2, c: 12/4=3, d: 10/2=5.
+        assert plan.num_blocks == 2 * 2 * 3 * 5
+
+    def test_num_steps(self, plan):
+        # e: ceil(6/3)=2, f: ceil(4/2)=2.
+        assert plan.num_steps == 4
+
+    def test_block_offsets_cover_all_tiles(self, plan):
+        seen = set()
+        for blk in range(plan.num_blocks):
+            offs = plan.block_offsets(blk)
+            seen.add(tuple(sorted(offs.items())))
+        assert len(seen) == plan.num_blocks
+
+    def test_block_offsets_are_tile_multiples(self, plan):
+        offs = plan.block_offsets(plan.num_blocks - 1)
+        assert offs["a"] % 8 == 0
+        assert offs["d"] % 2 == 0
+
+    def test_step_offsets(self, plan):
+        assert plan.step_offsets(0) == {"e": 0, "f": 0}
+        assert plan.step_offsets(1) == {"e": 3, "f": 0}
+        assert plan.step_offsets(2) == {"e": 0, "f": 2}
+
+    def test_thread_geometry(self, plan):
+        assert plan.tb_x == 8
+        assert plan.tb_y == 4
+        assert plan.reg_x == 4
+        assert plan.reg_y == 2
+        assert plan.threads_per_block == 32
+
+    def test_tb_k_tile(self, plan):
+        assert plan.tb_k_tile == 6
+
+    def test_tensor_tile_axes_in_storage_order(self, plan, eq1):
+        axes = plan.tensor_tile_axes(eq1.a)
+        assert [a.index for a in axes] == ["a", "e", "b", "f"]
+        assert [a.tile for a in axes] == [8, 3, 4, 2]
+
+    def test_tile_elements(self, plan, eq1):
+        assert plan.tile_elements(eq1.a) == 8 * 3 * 4 * 2
+        assert plan.tile_elements(eq1.b) == 2 * 2 * 4 * 3
+
+    def test_smem_sizes(self, plan):
+        assert plan.smem_x_elements == (8 * 4) * 6
+        assert plan.smem_y_elements == (4 * 2) * 6
+        assert plan.smem_bytes == (192 + 48) * 8
+
+    def test_smem_ext_order(self, plan):
+        assert plan.smem_ext_order("x") == ("a", "b")
+        assert plan.smem_ext_order("y") == ("c", "d")
+
+    def test_smem_ext_order_bad_side(self, plan):
+        with pytest.raises(ValueError):
+            plan.smem_ext_order("z")
+
+    def test_input_side(self, plan, eq1):
+        assert plan.input_side(eq1.a) == "x"
+        assert plan.input_side(eq1.b) == "y"
+
+    def test_loads_per_thread(self, plan, eq1):
+        expected = ceil_div(plan.tile_elements(eq1.a), 32)
+        assert plan.loads_per_thread(eq1.a) == expected
+
+    def test_summary_mentions_key_facts(self, plan):
+        text = plan.summary()
+        assert "blocks" in text
+        assert "smem" in text
+
+
+class TestDegenerate:
+    def test_no_internal_indices(self):
+        c = parse("ab-a-b", {"a": 8, "b": 8})
+        cfg = config_from_spec(c, tb_x=[("a", 4)], tb_y=[("b", 4)])
+        plan = KernelPlan(c, cfg)
+        assert plan.num_steps == 1
+        assert plan.tb_k_tile == 1
+        assert plan.step_axes == ()
+
+    def test_grid_only_config(self):
+        c = parse("ab-ak-kb", {"a": 4, "b": 4, "k": 4})
+        cfg = config_from_spec(c)  # everything defaulted
+        plan = KernelPlan(c, cfg)
+        assert plan.threads_per_block == 1
+        assert plan.num_blocks == 16

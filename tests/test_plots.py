@@ -1,0 +1,80 @@
+"""Tests for the terminal figure renderings (repro.evaluation.plots)."""
+
+import pytest
+
+from repro.evaluation.plots import grouped_bars, hbar, line_plot
+from repro.evaluation.runner import ComparisonRow, FrameworkResult
+from repro.tccg import get
+
+
+def make_row(name, values):
+    bench = get(name)
+    row = ComparisonRow(bench)
+    for fw, gflops in values.items():
+        row.results[fw] = FrameworkResult(
+            framework=fw, benchmark=name, gflops=gflops,
+            time_s=1.0 / max(gflops, 1e-9),
+        )
+    return row
+
+
+class TestHbar:
+    def test_full_scale(self):
+        assert len(hbar(10, 10, 20)) == 20
+
+    def test_half(self):
+        assert len(hbar(5, 10, 20)) == 10
+
+    def test_zero(self):
+        assert hbar(0, 10, 20) == ""
+
+    def test_zero_scale(self):
+        assert hbar(5, 0, 20) == ""
+
+
+class TestGroupedBars:
+    @pytest.fixture
+    def rows(self):
+        return [
+            make_row("ccsd_eq1", {"cogent": 6000.0, "talsh": 5000.0}),
+            make_row("sd_t_d2_1", {"cogent": 1500.0, "talsh": 300.0}),
+        ]
+
+    def test_contains_all_series(self, rows):
+        text = grouped_bars(rows, ("cogent", "talsh"), title="demo")
+        assert "demo" in text
+        assert "ccsd_eq1" in text and "sd_t_d2_1" in text
+        assert text.count("cogent") == 2
+
+    def test_bar_lengths_ordered(self, rows):
+        text = grouped_bars(rows, ("cogent", "talsh"), width=40)
+        lines = [l for l in text.splitlines() if "cogent" in l or
+                 "talsh" in l]
+        lengths = [l.count("█") for l in lines]
+        # cogent(6000) > talsh(5000) > cogent(1500) > talsh(300)
+        assert lengths == sorted(lengths, reverse=True)
+
+
+class TestLinePlot:
+    def test_contains_axes_and_legend(self):
+        text = line_plot(
+            {"tc tuned": [1, 10, 50, 100, 120]},
+            hlines={"cogent": 200.0},
+        )
+        assert "GFLOPS" in text
+        assert "tc tuned" in text
+        assert "cogent" in text
+        assert "-" in text  # reference line rendered
+
+    def test_monotone_series_rises(self):
+        text = line_plot({"s": [0, 25, 50, 75, 100]}, height=6, width=20)
+        rows = [l.split("|", 1)[1] for l in text.splitlines()
+                if "|" in l]
+        first_col = [r[0] for r in rows]
+        last_col = [r[-1] for r in rows]
+        # The marker starts near the bottom and ends near the top.
+        assert first_col.index("*") > last_col.index("*")
+
+    def test_empty_series_tolerated(self):
+        text = line_plot({"empty": []}, hlines={"ref": 5.0})
+        assert "ref" in text

@@ -1,0 +1,64 @@
+"""Tests for the experiment-report generator (repro.evaluation.report)."""
+
+import pytest
+
+from repro.evaluation import report as report_mod
+from repro.tccg import get
+
+
+@pytest.fixture(scope="module")
+def tiny_report(module_mocker=None):
+    # Shrink the selection and GA so the whole report runs in seconds.
+    original_selection = report_mod._selection
+    original_fig67 = report_mod._fig67
+    original_fig8 = report_mod._fig8
+
+    def tiny_selection(quick):
+        return (get("mo_stage1"), get("sd_t_d1_1"))
+
+    def tiny_fig67(out, quick):
+        original_fig67(out, True)
+
+    def tiny_fig8(out, quick):
+        original_fig8(out, True)
+
+    report_mod._selection = tiny_selection
+    report_mod._fig67 = tiny_fig67
+    report_mod._fig8 = tiny_fig8
+    try:
+        yield report_mod.generate_report(quick=True)
+    finally:
+        report_mod._selection = original_selection
+        report_mod._fig67 = original_fig67
+        report_mod._fig8 = original_fig8
+
+
+class TestReport:
+    def test_contains_every_section(self, tiny_report):
+        for heading in ("Fig. 4", "Fig. 5", "Fig. 6", "Fig. 7",
+                        "Fig. 8", "pruning"):
+            assert heading in tiny_report
+
+    def test_mentions_selected_benchmarks(self, tiny_report):
+        assert "mo_stage1" in tiny_report
+        assert "sd_t_d1_1" in tiny_report
+
+    def test_has_speedup_summaries(self, tiny_report):
+        assert "COGENT vs NWChem" in tiny_report
+        assert "COGENT vs TAL_SH" in tiny_report
+
+    def test_has_bar_and_line_charts(self, tiny_report):
+        assert "█" in tiny_report          # grouped bars
+        assert "best-so-far" in tiny_report  # fig-8 line plot legend
+
+    def test_reports_duration(self, tiny_report):
+        assert "Report generated in" in tiny_report
+
+
+class TestCli:
+    def test_report_flag_registered(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["report", "--full",
+                                          "-o", "x.md"])
+        assert args.full and args.output == "x.md"

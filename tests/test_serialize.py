@@ -1,0 +1,109 @@
+"""Tests for kernel persistence (repro.core.serialize)."""
+
+import json
+
+import pytest
+
+from repro import Cogent, parse
+from repro.core.serialize import (
+    config_from_dict,
+    config_to_dict,
+    contraction_from_dict,
+    contraction_to_dict,
+    kernel_to_meta,
+    load_meta,
+    load_plan,
+    save_kernel,
+    verify_saved_kernel,
+)
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    return Cogent(arch="V100", top_k=4).generate("abcd-aebf-dfce",
+                                                 sizes=24)
+
+
+class TestCodecs:
+    def test_contraction_round_trip(self, eq1_small):
+        data = contraction_to_dict(eq1_small)
+        back = contraction_from_dict(json.loads(json.dumps(data)))
+        assert str(back) == str(eq1_small)
+        assert back.sizes == dict(eq1_small.sizes)
+
+    def test_config_round_trip(self, kernel):
+        data = config_to_dict(kernel.config)
+        back = config_from_dict(json.loads(json.dumps(data)))
+        assert back.describe() == kernel.config.describe()
+
+    def test_meta_is_json_serialisable(self, kernel):
+        text = json.dumps(kernel_to_meta(kernel))
+        meta = json.loads(text)
+        assert meta["kernel_name"] == "tc_kernel"
+        assert meta["dtype_bytes"] == 8
+        assert meta["model_cost_transactions"] > 0
+
+    def test_meta_includes_prediction(self, kernel):
+        meta = kernel_to_meta(kernel)
+        assert meta["predicted"]["gflops"] > 0
+        assert meta["predicted"]["limiter"] in ("dram", "fma", "smem")
+
+
+class TestSaveLoad:
+    def test_save_writes_all_sources(self, kernel, tmp_path):
+        out = save_kernel(kernel, tmp_path / "k")
+        names = {p.name for p in out.iterdir()}
+        assert names == {
+            "kernel.cu", "driver.cu", "kernel_emu.c", "kernel.cl",
+            "meta.json",
+        }
+
+    def test_save_without_opencl(self, kernel, tmp_path):
+        out = save_kernel(kernel, tmp_path / "k2", include_opencl=False)
+        assert not (out / "kernel.cl").exists()
+
+    def test_load_plan_matches(self, kernel, tmp_path):
+        out = save_kernel(kernel, tmp_path / "k3")
+        plan = load_plan(out)
+        assert plan.config.describe() == kernel.config.describe()
+        assert str(plan.contraction) == str(kernel.contraction)
+        assert plan.dtype_bytes == 8
+
+    def test_verify_saved_kernel(self, kernel, tmp_path):
+        out = save_kernel(kernel, tmp_path / "k4")
+        assert verify_saved_kernel(out)
+
+    def test_verify_detects_tampering(self, kernel, tmp_path):
+        out = save_kernel(kernel, tmp_path / "k5")
+        cu = out / "kernel.cu"
+        cu.write_text(cu.read_text().replace("r_c", "r_z"))
+        assert not verify_saved_kernel(out)
+
+    def test_version_check(self, kernel, tmp_path):
+        out = save_kernel(kernel, tmp_path / "k6")
+        meta_path = out / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["format_version"] = 99
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(ValueError):
+            load_meta(out)
+
+    def test_split_specs_recorded(self, tmp_path):
+        gen = Cogent(arch="V100", split_factors=(4,))
+        kernel = gen.generate(
+            parse("abc-adc-bd",
+                  {"a": 256, "b": 256, "c": 256, "d": 256})
+        )
+        meta = kernel_to_meta(kernel)
+        if kernel.split_specs:
+            assert meta["split_specs"][0]["factor"] == 4
+            assert "original_contraction" in meta
+
+    def test_loaded_plan_is_executable(self, tmp_path):
+        from repro.gpu.executor import verify_plan
+
+        small = Cogent(arch="V100", top_k=1).generate(
+            "ab-ak-kb", sizes=8
+        )
+        out = save_kernel(small, tmp_path / "k7")
+        assert verify_plan(load_plan(out))

@@ -1,0 +1,202 @@
+"""Tests for the performance simulator (repro.gpu.simulator)."""
+
+import pytest
+
+from repro.core.costmodel import TransactionEstimate
+from repro.core.mapping import config_from_spec
+from repro.core.parser import parse
+from repro.core.plan import KernelPlan
+from repro.gpu.simulator import GpuSimulator, ModelParams
+
+
+@pytest.fixture
+def c64():
+    return parse("ab-ak-kb", {"a": 512, "b": 512, "k": 512})
+
+
+def make_plan(c, dtype_bytes=8, **spec):
+    return KernelPlan(c, config_from_spec(c, **spec), dtype_bytes)
+
+
+def good_plan(c, dtype_bytes=8):
+    return make_plan(
+        c, dtype_bytes,
+        tb_x=[("a", 16)], tb_y=[("b", 16)], tb_k=[("k", 16)],
+    )
+
+
+class TestBasics:
+    def test_gflops_time_consistent(self, v100, c64):
+        sim = GpuSimulator(v100)
+        plan = good_plan(c64)
+        result = sim.simulate(plan)
+        assert result.gflops == pytest.approx(
+            plan.flops / result.time_s / 1e9
+        )
+
+    def test_time_at_least_launch_overhead(self, v100):
+        tiny = parse("ab-ak-kb", {"a": 4, "b": 4, "k": 4})
+        plan = make_plan(tiny, tb_x=[("a", 4)], tb_y=[("b", 4)])
+        result = GpuSimulator(v100).simulate(plan)
+        assert result.time_s >= ModelParams().launch_overhead_s
+
+    def test_limiter_is_one_of_resources(self, v100, c64):
+        result = GpuSimulator(v100).simulate(good_plan(c64))
+        assert result.limiter in ("dram", "fma", "smem")
+
+    def test_unrunnable_plan_raises(self, v100, c64):
+        plan = make_plan(
+            c64, tb_x=[("a", 16)], tb_y=[("b", 16)],
+            reg_x=[], reg_y=[], tb_k=[("k", 512)],
+        )
+        # 512-deep smem tile blows the per-block capacity.
+        with pytest.raises(ValueError):
+            GpuSimulator(v100).simulate(plan)
+
+    def test_custom_traffic_respected(self, v100, c64):
+        sim = GpuSimulator(v100)
+        plan = good_plan(c64)
+        small = sim.simulate(
+            plan, TransactionEstimate(load_a=10, load_b=10, store_c=10)
+        )
+        big = sim.simulate(
+            plan,
+            TransactionEstimate(
+                load_a=10 ** 7, load_b=10 ** 7, store_c=10 ** 7
+            ),
+        )
+        assert big.time_s > small.time_s
+
+
+class TestMonotonicity:
+    def test_more_traffic_never_faster(self, v100, c64):
+        sim = GpuSimulator(v100)
+        plan = good_plan(c64)
+        times = []
+        for scale in (1, 4, 16):
+            est = TransactionEstimate(
+                load_a=100_000 * scale,
+                load_b=100_000 * scale,
+                store_c=100_000 * scale,
+            )
+            times.append(sim.simulate(plan, est).time_s)
+        assert times == sorted(times)
+
+    def test_sp_faster_than_dp_same_config(self, v100, c64):
+        # 32-wide rows: 2 transactions in DP, 1 in SP.
+        def plan(dtype_bytes):
+            return make_plan(
+                c64, dtype_bytes,
+                tb_x=[("a", 32)], tb_y=[("b", 8)], tb_k=[("k", 16)],
+            )
+        dp = GpuSimulator(v100).simulate(plan(8))
+        sp = GpuSimulator(v100).simulate(plan(4))
+        assert sp.time_s < dp.time_s
+
+    def test_v100_faster_than_p100(self, v100, p100, c64):
+        plan = good_plan(c64)
+        tv = GpuSimulator(v100).simulate(plan).time_s
+        tp = GpuSimulator(p100).simulate(plan).time_s
+        assert tv < tp
+
+    def test_register_tiling_improves_eq1(self, v100):
+        c = parse("abcd-aebf-dfce", 64)
+        no_reg = make_plan(
+            c, tb_x=[("a", 16)], tb_y=[("d", 16)], tb_k=[("e", 16)]
+        )
+        with_reg = make_plan(
+            c,
+            tb_x=[("a", 16)], tb_y=[("d", 16)],
+            reg_x=[("b", 4)], reg_y=[("c", 4)],
+            tb_k=[("e", 16)],
+        )
+        sim = GpuSimulator(v100)
+        assert sim.simulate(with_reg).time_s < sim.simulate(no_reg).time_s
+
+
+class TestWaves:
+    def test_single_block_poorly_utilised(self, v100):
+        c = parse("ab-ak-kb", {"a": 16, "b": 16, "k": 512})
+        one_block = make_plan(
+            c, tb_x=[("a", 16)], tb_y=[("b", 16)], tb_k=[("k", 16)]
+        )
+        many = parse("ab-ak-kb", {"a": 512, "b": 512, "k": 512})
+        many_blocks = make_plan(
+            many, tb_x=[("a", 16)], tb_y=[("b", 16)], tb_k=[("k", 16)]
+        )
+        sim = GpuSimulator(v100)
+        r1 = sim.simulate(one_block)
+        r2 = sim.simulate(many_blocks)
+        assert r1.waves == 1
+        assert r2.gflops > r1.gflops
+
+    def test_waves_reported(self, v100):
+        c = parse("ab-ak-kb", {"a": 4096, "b": 4096, "k": 64})
+        plan = make_plan(
+            c, tb_x=[("a", 16)], tb_y=[("b", 16)], tb_k=[("k", 16)]
+        )
+        result = GpuSimulator(v100).simulate(plan)
+        assert result.waves >= 1
+
+
+class TestParams:
+    def test_degraded_params_slower(self, v100, c64):
+        plan = good_plan(c64)
+        fast = GpuSimulator(v100).simulate(plan)
+        slow = GpuSimulator(
+            v100,
+            ModelParams(
+                bw_efficiency=0.4,
+                loop_overhead=8.0,
+                smem_load_weight=2.0,
+                sync_cycles_per_step=1000.0,
+            ),
+        ).simulate(plan)
+        assert slow.time_s > fast.time_s
+
+    def test_str_contains_gflops(self, v100, c64):
+        result = GpuSimulator(v100).simulate(good_plan(c64))
+        assert "GFLOPS" in str(result)
+
+
+class TestL2Model:
+    def test_off_by_default(self, v100, c64):
+        plan = good_plan(c64)
+        base = GpuSimulator(v100).simulate(plan)
+        explicit = GpuSimulator(
+            v100, ModelParams(model_l2=False)
+        ).simulate(plan)
+        assert base.time_s == explicit.time_s
+
+    def test_l2_helps_reloaded_small_inputs(self, v100):
+        # 512^3 matmul with 16x16 tiles re-reads each 2 MB input 32
+        # times; both inputs fit in the V100's 6 MB L2.
+        c = parse("ab-ak-kb", {"a": 512, "b": 512, "k": 512})
+        plan = make_plan(
+            c, tb_x=[("a", 16)], tb_y=[("b", 16)], tb_k=[("k", 16)]
+        )
+        base = GpuSimulator(v100).simulate(plan)
+        with_l2 = GpuSimulator(
+            v100, ModelParams(model_l2=True)
+        ).simulate(plan)
+        assert with_l2.time_s < base.time_s
+
+    def test_l2_irrelevant_for_huge_tensors(self, v100):
+        c = parse("ab-ak-kb", {"a": 8192, "b": 8192, "k": 8192})
+        plan = make_plan(
+            c, tb_x=[("a", 16)], tb_y=[("b", 16)], tb_k=[("k", 16)]
+        )
+        base = GpuSimulator(v100).simulate(plan)
+        with_l2 = GpuSimulator(
+            v100, ModelParams(model_l2=True)
+        ).simulate(plan)
+        # 512 MB operands dwarf the 6 MB L2: at most a tiny discount.
+        assert with_l2.time_s > base.time_s * 0.9
+
+    def test_l2_never_slower(self, v100, c64):
+        plan = good_plan(c64)
+        base = GpuSimulator(v100).simulate(plan)
+        with_l2 = GpuSimulator(
+            v100, ModelParams(model_l2=True)
+        ).simulate(plan)
+        assert with_l2.time_s <= base.time_s

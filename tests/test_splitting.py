@@ -1,0 +1,181 @@
+"""Tests for the dimension-splitting extension (repro.core.splitting)."""
+
+import numpy as np
+import pytest
+
+from repro.core.ir import ContractionError
+from repro.core.mapping import config_from_spec
+from repro.core.parser import parse
+from repro.core.plan import KernelPlan
+from repro.core.splitting import (
+    SplitSpec,
+    adapt_operands,
+    candidate_splits,
+    merge_output,
+    restore_output,
+    split_index,
+    split_operand,
+)
+from repro.gpu.executor import (
+    execute_plan,
+    random_operands,
+    reference_contract,
+)
+
+
+@pytest.fixture
+def ttm():
+    # Single external per side: the motivating case for splitting.
+    return parse("abc-adc-bd", {"a": 16, "b": 24, "c": 8, "d": 12})
+
+
+class TestSplitIndex:
+    def test_replaces_index_in_all_tensors(self, ttm):
+        split, spec = split_index(ttm, "b", 4)
+        assert spec.low_name == "b0" and spec.high_name == "b1"
+        assert "b" not in split.c.indices
+        assert split.c.indices == ("a", "b0", "b1", "c")
+        assert split.b.indices == ("b0", "b1", "d")
+
+    def test_extents(self, ttm):
+        split, _ = split_index(ttm, "b", 4)
+        assert split.extent("b0") == 4
+        assert split.extent("b1") == 6
+
+    def test_strides_preserved(self, ttm):
+        """Split tensors address the same memory as the originals."""
+        split, _ = split_index(ttm, "b", 4)
+        orig = ttm.strides_of(ttm.b)          # B[b, d]
+        new = split.strides_of(split.b)       # B[b0, b1, d]
+        assert new[0] == orig[0]              # b0 stride = b stride
+        assert new[1] == orig[0] * 4          # b1 stride = b stride * f
+        assert new[2] == orig[1]              # d unchanged
+
+    def test_flops_preserved(self, ttm):
+        split, _ = split_index(ttm, "b", 4)
+        assert split.flops == ttm.flops
+
+    def test_internal_index_splittable(self, ttm):
+        split, spec = split_index(ttm, "d", 4)
+        assert split.internal_indices == ("d0", "d1")
+
+    def test_non_divisible_rejected(self, ttm):
+        with pytest.raises(ContractionError):
+            split_index(ttm, "b", 5)
+
+    def test_full_extent_rejected(self, ttm):
+        with pytest.raises(ContractionError):
+            split_index(ttm, "b", 24)
+
+    def test_factor_one_rejected(self, ttm):
+        with pytest.raises(ContractionError):
+            split_index(ttm, "b", 1)
+
+    def test_name_collision_avoided(self):
+        c = parse("ab-ak-kb",
+                  {"a": 8, "b": 8, "k": 8})
+        # Rename to create a clash with the default split names.
+        c2 = parse(
+            "C[a0,b] = A[a0,k] * B[k,b]",
+            {"a0": 8, "b": 8, "k": 8},
+        )
+        split, spec = split_index(c2, "b", 4)
+        assert spec.low_name not in ("a0",)
+        assert len({*split.all_indices}) == len(split.all_indices)
+
+    def test_str(self, ttm):
+        _, spec = split_index(ttm, "b", 4)
+        assert "b(24)" in str(spec)
+
+
+class TestCandidates:
+    def test_single_external_side_generates_candidates(self, ttm):
+        cands = candidate_splits(ttm)
+        assert cands
+        assert all(spec.index == "b" for _, spec in cands)
+
+    def test_two_external_sides_generate_none(self, eq1_repr):
+        assert candidate_splits(eq1_repr) == []
+
+    def test_factor_must_divide(self, ttm):
+        cands = candidate_splits(ttm, factors=(5, 7))
+        assert cands == []
+
+    def test_max_candidates_respected(self, ttm):
+        cands = candidate_splits(ttm, factors=(2, 4, 8), max_candidates=2)
+        assert len(cands) <= 2
+
+
+class TestOperandReshaping:
+    def test_split_operand_semantics(self):
+        arr = np.arange(12.0)
+        out = split_operand(arr, 0, 4)
+        assert out.shape == (4, 3)
+        # Element i -> (i % 4, i // 4).
+        for i in range(12):
+            assert out[i % 4, i // 4] == arr[i]
+
+    def test_merge_is_inverse(self):
+        arr = np.arange(24.0).reshape(6, 4)
+        split = split_operand(arr, 0, 3)
+        merged = merge_output(split, 0)
+        assert np.array_equal(merged, arr)
+
+    def test_split_operand_non_divisible_rejected(self):
+        with pytest.raises(ValueError):
+            split_operand(np.arange(10.0), 0, 4)
+
+    def test_adapt_and_restore_roundtrip(self, ttm):
+        split, spec = split_index(ttm, "b", 4)
+        a, b = random_operands(ttm)
+        a2, b2 = adapt_operands(ttm, [spec], a, b)
+        assert a2.shape == split.extents_of(split.a)
+        assert b2.shape == split.extents_of(split.b)
+
+    def test_split_execution_matches_original(self, ttm):
+        """Executing a plan on the split contraction must equal the
+        original contraction's einsum after merging the output."""
+        split, spec = split_index(ttm, "b", 4)
+        cfg = config_from_spec(
+            split,
+            tb_x=[("a", 8)],
+            tb_y=[("b0", 4)],
+            reg_y=[("b1", 3)],
+            tb_k=[("d", 4)],
+        )
+        plan = KernelPlan(split, cfg)
+        a, b = random_operands(ttm)
+        a2, b2 = adapt_operands(ttm, [spec], a, b)
+        got_split = execute_plan(plan, a2, b2)
+        got = restore_output(split, [spec], got_split)
+        want = reference_contract(ttm, a, b)
+        assert np.allclose(got, want)
+
+
+class TestGeneratorIntegration:
+    def test_ttm_gets_split(self, ttm):
+        from repro import Cogent
+
+        big = parse("abc-adc-bd",
+                    {"a": 256, "b": 256, "c": 256, "d": 256})
+        gen = Cogent(arch="V100")
+        kernel = gen.generate(big)
+        # Splitting must at least be considered; for this shape the
+        # split variant wins (both sides get register tiles).
+        assert kernel.split_specs
+        assert kernel.original_contraction is big
+
+    def test_split_disabled(self):
+        from repro import Cogent
+
+        big = parse("abc-adc-bd",
+                    {"a": 256, "b": 256, "c": 256, "d": 256})
+        gen = Cogent(arch="V100", allow_split=False)
+        kernel = gen.generate(big)
+        assert kernel.split_specs == ()
+
+    def test_no_split_for_rich_contractions(self, eq1_repr):
+        from repro import Cogent
+
+        kernel = Cogent(arch="V100").generate(eq1_repr)
+        assert kernel.split_specs == ()

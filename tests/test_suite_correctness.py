@@ -1,0 +1,33 @@
+"""Suite-wide correctness: every TCCG contraction, scaled down, runs
+through generation + schedule execution and matches numpy.einsum."""
+
+import numpy as np
+import pytest
+
+from repro import Cogent
+from repro.core.parser import parse_compact
+from repro.gpu.executor import random_operands, reference_contract
+from repro.tccg import all_benchmarks
+
+
+@pytest.fixture(scope="module")
+def generator():
+    # Small problems: skip the microbenchmark and split search for speed.
+    return Cogent(arch="V100", top_k=1, allow_split=False)
+
+
+def _shrunk(bench, cap=6):
+    sizes = {k: min(v, cap) for k, v in bench.sizes.items()}
+    return parse_compact(bench.expr, sizes)
+
+
+@pytest.mark.parametrize(
+    "bench", all_benchmarks(), ids=lambda b: b.name
+)
+def test_generated_schedule_matches_einsum(bench, generator):
+    contraction = _shrunk(bench)
+    kernel = generator.generate(contraction)
+    a, b = random_operands(contraction, seed=bench.id)
+    got = kernel.execute(a, b)
+    want = reference_contract(contraction, a, b)
+    assert np.allclose(got, want, rtol=1e-9, atol=1e-9), bench.expr

@@ -1,0 +1,116 @@
+"""Tests for the Tensor-Comprehensions-style autotuner (repro.baselines.tc)."""
+
+import pytest
+
+from repro.baselines.tc import TcAutotuner, TuneResult
+from repro.core.mapping import Dim
+from repro.core.parser import parse
+
+
+@pytest.fixture
+def contraction():
+    return parse("abcd-aebf-dfce", 32)
+
+
+@pytest.fixture
+def tuner(v100):
+    return TcAutotuner(v100, dtype_bytes=4, population=10,
+                       generations=3, seed=42)
+
+
+class TestGenome:
+    def test_random_genomes_are_valid_configs(self, tuner, contraction):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            genome = tuner._random_genome(contraction, rng)
+            config = tuner._to_config(contraction, genome)
+            config.validate_for(contraction)  # must not raise
+
+    def test_internals_always_on_tbk(self, tuner, contraction):
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        genome = tuner._random_genome(contraction, rng)
+        for gene in genome:
+            if gene.index in ("e", "f"):
+                assert gene.dim is Dim.TB_K
+
+    def test_grid_genes_have_tile_one(self, tuner, contraction):
+        import numpy as np
+
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            genome = tuner._random_genome(contraction, rng)
+            for gene in genome:
+                if gene.dim is Dim.GRID:
+                    assert gene.tile == 1
+
+
+class TestTune:
+    def test_returns_result(self, tuner, contraction):
+        result = tuner.tune(contraction)
+        assert isinstance(result, TuneResult)
+        assert result.evaluations == 30  # population * generations
+
+    def test_curve_is_monotone_nondecreasing(self, tuner, contraction):
+        curve = tuner.tune(contraction).curve
+        assert all(b >= a for a, b in zip(curve, curve[1:]))
+
+    def test_curve_length_equals_evaluations(self, tuner, contraction):
+        result = tuner.tune(contraction)
+        assert len(result.curve) == result.evaluations
+
+    def test_deterministic_with_seed(self, v100, contraction):
+        r1 = TcAutotuner(v100, population=8, generations=2,
+                         seed=7).tune(contraction)
+        r2 = TcAutotuner(v100, population=8, generations=2,
+                         seed=7).tune(contraction)
+        assert r1.curve == r2.curve
+        assert r1.best_gflops == r2.best_gflops
+
+    def test_different_seeds_explore_differently(self, v100, contraction):
+        r1 = TcAutotuner(v100, population=8, generations=2,
+                         seed=1).tune(contraction)
+        r2 = TcAutotuner(v100, population=8, generations=2,
+                         seed=2).tune(contraction)
+        assert r1.curve != r2.curve
+
+    def test_best_config_is_valid(self, tuner, contraction):
+        result = tuner.tune(contraction)
+        assert result.best_config is not None
+        result.best_config.validate_for(contraction)
+
+    def test_modeled_tuning_time(self, tuner, contraction):
+        result = tuner.tune(contraction)
+        assert result.modeled_tuning_time_s == pytest.approx(
+            result.evaluations * tuner.eval_overhead_s
+        )
+
+
+class TestUntuned:
+    def test_untuned_is_terrible(self, tuner, contraction):
+        """Matches the paper: TC without tuning achieves < 1 GFLOPS."""
+        assert tuner.untuned_gflops(contraction) < 10.0
+
+    def test_tuning_helps_enormously(self, tuner, contraction):
+        result = tuner.tune(contraction)
+        assert result.best_gflops > 50 * result.untuned_gflops
+
+    def test_default_config_all_serial(self, contraction):
+        cfg = TcAutotuner.default_config(contraction)
+        assert cfg.threads_per_block == 1
+        assert all(m.tile == 1 for m in cfg.mappings)
+
+
+class TestVsCogent:
+    def test_cogent_beats_tc_tuned(self, v100, contraction):
+        """The headline of Figs. 6-7: model-driven COGENT outperforms
+        the genetically autotuned polyhedral compiler."""
+        from repro import Cogent
+
+        tc = TcAutotuner(v100, dtype_bytes=4, population=20,
+                         generations=5, seed=0).tune(contraction)
+        cogent = Cogent(arch=v100, dtype_bytes=4).generate(contraction)
+        assert cogent.candidates[0].simulated.gflops > tc.best_gflops

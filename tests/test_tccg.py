@@ -1,0 +1,107 @@
+"""Tests for the TCCG benchmark suite (repro.tccg)."""
+
+import pytest
+
+from repro.tccg import (
+    BENCHMARKS,
+    GROUPS,
+    SD2_1,
+    SD2_SUBSET,
+    all_benchmarks,
+    by_group,
+    get,
+)
+
+
+class TestSuiteShape:
+    def test_48_entries(self):
+        assert len(BENCHMARKS) == 48
+
+    def test_ids_sequential(self):
+        assert [b.id for b in BENCHMARKS] == list(range(1, 49))
+
+    def test_group_sizes_match_paper(self):
+        counts = {g: len(by_group(g)) for g in ("ml", "mo", "ccsd",
+                                                "ccsd_t")}
+        assert counts == {"ml": 8, "mo": 3, "ccsd": 19, "ccsd_t": 18}
+
+    def test_group_id_ranges_match_paper(self):
+        assert [b.id for b in by_group("ml")] == list(range(1, 9))
+        assert [b.id for b in by_group("mo")] == list(range(9, 12))
+        assert [b.id for b in by_group("ccsd")] == list(range(12, 31))
+        assert [b.id for b in by_group("ccsd_t")] == list(range(31, 49))
+
+    def test_names_unique(self):
+        names = [b.name for b in BENCHMARKS]
+        assert len(names) == len(set(names))
+
+    def test_expressions_unique(self):
+        exprs = [b.expr for b in BENCHMARKS]
+        assert len(exprs) == len(set(exprs))
+
+
+class TestEntries:
+    @pytest.mark.parametrize("bench", BENCHMARKS, ids=lambda b: b.name)
+    def test_every_entry_is_a_valid_contraction(self, bench):
+        c = bench.contraction()
+        assert c.flops > 0
+        # Every index in exactly two of three tensors (validated by the
+        # IR); every contraction has at least one external index.
+        assert c.external_indices
+
+    def test_ccsdt_entries_are_6d_4d_4d(self):
+        for bench in by_group("ccsd_t"):
+            c = bench.contraction()
+            assert c.c.ndim == 6
+            assert c.a.ndim == 4
+            assert c.b.ndim == 4
+            assert len(c.internal_indices) == 1
+
+    def test_sd2_1_matches_paper_fig8(self):
+        assert SD2_1.expr == "abcdef-gdab-efgc"
+        assert SD2_1.name == "sd_t_d2_1"
+
+    def test_sd2_subset_is_d2_prefix(self):
+        assert [b.name for b in SD2_SUBSET] == [
+            "sd_t_d2_1", "sd_t_d2_2", "sd_t_d2_3", "sd_t_d2_4",
+        ]
+
+    def test_eq1_is_entry_12(self):
+        assert get(12).expr == "abcd-aebf-dfce"
+
+    def test_d1_family_contracts_distinct_permutations(self):
+        d1 = [b for b in by_group("ccsd_t") if "d1" in b.name]
+        assert len(d1) == 9
+        assert len({b.expr for b in d1}) == 9
+
+
+class TestAccessors:
+    def test_get_by_id(self):
+        assert get(1).id == 1
+
+    def test_get_by_name(self):
+        assert get("ccsd_eq1").id == 12
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get("nonexistent")
+
+    def test_by_group_unknown_raises(self):
+        with pytest.raises(KeyError):
+            by_group("nope")
+
+    def test_all_benchmarks_returns_tuple(self):
+        assert isinstance(all_benchmarks(), tuple)
+
+    def test_scaled(self):
+        c = get(1).scaled(0.5)
+        full = get(1).contraction()
+        for idx in c.all_indices:
+            assert c.extent(idx) == max(1, round(full.extent(idx) * 0.5))
+
+    def test_groups_metadata(self):
+        assert set(GROUPS) == {"ml", "mo", "ccsd", "ccsd_t"}
+        assert GROUPS["ccsd_t"].paper_range == (31, 48)
+
+    def test_str(self):
+        assert "sd_t_d2_1" in str(SD2_1)

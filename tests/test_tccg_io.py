@@ -1,0 +1,101 @@
+"""Tests for benchmark definition file IO (repro.tccg.io)."""
+
+import pytest
+
+from repro.tccg import all_benchmarks
+from repro.tccg.io import SuiteFormatError, dump, dumps, load, loads
+
+
+SAMPLE = """\
+# a comment line
+
+sd_t_d2_1 abcdef-gdab-efgc a=24,b=24,c=24,d=24,e=24,f=24,g=24 ccsd_t
+mm ab-ak-kb 64   # trailing comment
+ttm abc-adc-bd a=32,*=16
+"""
+
+
+class TestLoads:
+    def test_parses_entries(self):
+        benches = loads(SAMPLE)
+        assert [b.name for b in benches] == ["sd_t_d2_1", "mm", "ttm"]
+
+    def test_ids_sequential(self):
+        benches = loads(SAMPLE)
+        assert [b.id for b in benches] == [1, 2, 3]
+
+    def test_comments_and_blanks_skipped(self):
+        assert len(loads("# only a comment\n\n")) == 0
+
+    def test_bare_int_sizes(self):
+        bench = loads(SAMPLE)[1]
+        assert all(v == 64 for v in bench.sizes.values())
+
+    def test_star_default_sizes(self):
+        bench = loads(SAMPLE)[2]
+        assert bench.sizes["a"] == 32
+        assert bench.sizes["b"] == 16
+
+    def test_group_defaults_to_custom(self):
+        assert loads(SAMPLE)[1].group == "custom"
+
+    def test_explicit_group(self):
+        assert loads(SAMPLE)[0].group == "ccsd_t"
+
+    def test_entries_are_valid_contractions(self):
+        for bench in loads(SAMPLE):
+            assert bench.contraction().flops > 0
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(SuiteFormatError):
+            loads("just_a_name\n")
+
+    def test_invalid_expression_rejected(self):
+        with pytest.raises(SuiteFormatError):
+            loads("bad ab-ak 64\n")
+
+    def test_invalid_contraction_rejected(self):
+        # 'a' in all three tensors.
+        with pytest.raises(SuiteFormatError):
+            loads("bad ab-ak-ka 64\n")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(SuiteFormatError, match="line 2"):
+            loads("ok ab-ak-kb 8\nbroken\n")
+
+
+class TestRoundTrip:
+    def test_dumps_loads_identity(self):
+        original = loads(SAMPLE)
+        again = loads(dumps(original))
+        assert [(b.name, b.expr, b.sizes, b.group) for b in again] == \
+            [(b.name, b.expr, b.sizes, b.group) for b in original]
+
+    def test_full_suite_round_trips(self):
+        text = dumps(all_benchmarks())
+        again = loads(text)
+        assert len(again) == 48
+        assert [b.expr for b in again] == \
+            [b.expr for b in all_benchmarks()]
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "suite.txt"
+        dump(all_benchmarks()[:5], path)
+        assert [b.name for b in load(path)] == \
+            [b.name for b in all_benchmarks()[:5]]
+
+
+class TestShippedDefinitions:
+    def test_shipped_file_exists(self):
+        from repro.tccg.io import shipped_definition_path
+
+        assert shipped_definition_path().exists()
+
+    def test_shipped_matches_programmatic_suite(self):
+        from repro.tccg.io import load_shipped
+
+        shipped = load_shipped()
+        suite = all_benchmarks()
+        assert len(shipped) == 48
+        assert [(b.name, b.expr, b.sizes) for b in shipped] == \
+            [(b.name, b.expr, b.sizes) for b in suite]

@@ -1,0 +1,162 @@
+"""Tests for the TTGT substrate (repro.ttgt)."""
+
+import numpy as np
+import pytest
+
+from repro.core.parser import parse
+from repro.gpu.executor import random_operands, reference_contract
+from repro.ttgt.gemm import GemmParams, gemm_efficiency, gemm_time
+from repro.ttgt.pipeline import TtgtPipeline
+from repro.ttgt.transpose import (
+    TransposePlan,
+    execute_transpose,
+    permutation_between,
+    transpose_time,
+)
+
+
+class TestTransposePlan:
+    def test_identity_detected(self):
+        plan = TransposePlan((4, 5), (0, 1))
+        assert plan.is_identity
+
+    def test_non_permutation_rejected(self):
+        with pytest.raises(ValueError):
+            TransposePlan((4, 5), (0, 0))
+
+    def test_output_shape(self):
+        plan = TransposePlan((4, 5, 6), (2, 0, 1))
+        assert plan.output_shape() == (6, 4, 5)
+
+    def test_elements(self):
+        assert TransposePlan((4, 5), (1, 0)).elements == 20
+
+
+class TestTransposeCost:
+    def test_identity_is_free(self, v100):
+        assert transpose_time(TransposePlan((64, 64), (0, 1)), v100) == 0.0
+
+    def test_fvi_preserving_cheaper_than_general(self, v100):
+        shape = (64, 64, 64)
+        keep = transpose_time(TransposePlan(shape, (0, 2, 1)), v100)
+        general = transpose_time(TransposePlan(shape, (1, 0, 2)), v100)
+        assert keep < general
+
+    def test_short_modes_cost_more_per_byte(self, v100):
+        fat = TransposePlan((256, 256), (1, 0))
+        thin = TransposePlan((8, 8 * 256 * 32), (1, 0))
+        t_fat = transpose_time(fat, v100) / fat.elements
+        t_thin = transpose_time(thin, v100) / thin.elements
+        assert t_thin > t_fat
+
+    def test_scales_with_elements(self, v100):
+        small = transpose_time(TransposePlan((64, 64), (1, 0)), v100)
+        big = transpose_time(TransposePlan((512, 512), (1, 0)), v100)
+        assert big > small
+
+
+class TestTransposeExecution:
+    def test_matches_numpy(self):
+        arr = np.arange(24.0).reshape(2, 3, 4)
+        plan = TransposePlan((2, 3, 4), (2, 0, 1))
+        assert np.array_equal(
+            execute_transpose(plan, arr), np.transpose(arr, (2, 0, 1))
+        )
+
+    def test_shape_mismatch_rejected(self):
+        plan = TransposePlan((2, 3), (1, 0))
+        with pytest.raises(ValueError):
+            execute_transpose(plan, np.zeros((3, 2)))
+
+    def test_permutation_between(self):
+        assert permutation_between(("a", "b", "c"), ("c", "a", "b")) == \
+            (2, 0, 1)
+
+    def test_permutation_between_mismatch(self):
+        with pytest.raises(ValueError):
+            permutation_between(("a", "b"), ("a", "c"))
+
+
+class TestGemmModel:
+    def test_square_near_peak(self, v100):
+        eff = gemm_efficiency(4096, 4096, 4096, v100.num_sms)
+        assert eff > 0.8
+
+    def test_skinny_n_degrades(self, v100):
+        square = gemm_efficiency(4096, 4096, 4096, v100.num_sms)
+        skinny = gemm_efficiency(4096, 16, 4096, v100.num_sms)
+        assert skinny < square / 2
+
+    def test_small_k_degrades(self, v100):
+        big_k = gemm_efficiency(4096, 4096, 4096, v100.num_sms)
+        small_k = gemm_efficiency(4096, 4096, 16, v100.num_sms)
+        assert small_k < big_k
+
+    def test_time_positive_and_monotone_in_flops(self, v100):
+        t1 = gemm_time(512, 512, 512, v100)
+        t2 = gemm_time(2048, 2048, 2048, v100)
+        assert 0 < t1 < t2
+
+    def test_memory_floor_for_tiny_k(self, v100):
+        # K=1 GEMM moves ~3 matrices; cannot be faster than streaming.
+        t = gemm_time(8192, 8192, 1, v100)
+        bytes_moved = 8 * (8192 * 1 + 8192 * 1 + 2 * 8192 * 8192)
+        floor = bytes_moved / (v100.dram_bandwidth_gbs * 1e9)
+        assert t > floor * 0.8
+
+
+class TestPipeline:
+    @pytest.mark.parametrize("expr,sizes", [
+        ("ab-ak-kb", {"a": 6, "b": 7, "k": 5}),
+        ("abcd-aebf-dfce", {"a": 4, "b": 3, "c": 5, "d": 4,
+                            "e": 2, "f": 3}),
+        ("abc-adc-bd", {"a": 5, "b": 6, "c": 3, "d": 4}),
+        ("abcdef-gdab-efgc", 3),
+    ])
+    def test_execution_matches_einsum(self, v100, expr, sizes):
+        c = parse(expr, sizes)
+        pipe = TtgtPipeline(v100)
+        a, b = random_operands(c)
+        got = pipe.execute(c, a, b)
+        assert np.allclose(got, reference_contract(c, a, b))
+
+    def test_plan_times_positive(self, v100, eq1_repr):
+        plan = TtgtPipeline(v100).plan(eq1_repr)
+        assert plan.total_time > 0
+        assert plan.gflops > 0
+        assert plan.time_gemm > 0
+
+    def test_mnk_match_index_groups(self, v100, eq1_repr):
+        plan = TtgtPipeline(v100).plan(eq1_repr)
+        assert plan.m == 24 * 24
+        assert plan.n == 24 * 24
+        assert plan.k == 24 * 24
+
+    def test_workspace_counts_non_identity_transposes(self, v100,
+                                                      eq1_repr):
+        plan = TtgtPipeline(v100).plan(eq1_repr)
+        assert plan.workspace_elements > 0
+
+    def test_optimized_orders_never_slower(self, v100):
+        c = parse("abcdef-gdab-efgc", 24)
+        fixed = TtgtPipeline(v100, optimize_orders=False).plan(c)
+        opt = TtgtPipeline(v100, optimize_orders=True).plan(c)
+        assert opt.total_time <= fixed.total_time
+
+    def test_transpose_dominates_ccsdt(self, v100):
+        """The paper's motivating observation: for CCSD(T)-style
+        contractions the transposition time dwarfs the GEMM."""
+        c = parse("abcdef-gdab-efgc", 24)
+        plan = TtgtPipeline(v100).plan(c)
+        assert plan.transpose_time > plan.time_gemm
+
+    def test_gemm_dominates_4d(self, v100):
+        """...while 4D = 4D * 4D contractions are GEMM-dominated, which
+        is why TAL_SH is competitive there (Section V)."""
+        c = parse("abcd-aebf-dfce", 64)
+        plan = TtgtPipeline(v100).plan(c)
+        assert plan.time_gemm > plan.transpose_time
+
+    def test_summary_string(self, v100, eq1_repr):
+        text = TtgtPipeline(v100).plan(eq1_repr).summary()
+        assert "GFLOPS" in text and "M=" in text

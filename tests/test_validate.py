@@ -1,0 +1,67 @@
+"""Tests for the one-stop validation utility (repro.core.validate)."""
+
+import pytest
+
+from repro import Cogent, parse
+from repro.core.validate import ALL_CHECKS, validate_kernel
+
+from .conftest import requires_cc
+
+
+@pytest.fixture(scope="module")
+def small_kernel():
+    c = parse("abcd-aebf-dfce",
+              {"a": 6, "b": 5, "c": 4, "d": 6, "e": 3, "f": 4})
+    return Cogent(arch="V100", top_k=2).generate(c)
+
+
+class TestValidate:
+    def test_plan_check(self, small_kernel):
+        report = validate_kernel(small_kernel, ["plan"])
+        assert report.passed
+        assert report.results[0].name == "plan"
+
+    def test_trace_check(self, small_kernel):
+        report = validate_kernel(small_kernel, ["trace"])
+        assert report.passed
+        assert "transactions" in report.results[0].detail
+
+    @requires_cc
+    def test_all_checks(self, small_kernel):
+        report = validate_kernel(small_kernel)
+        assert report.passed
+        assert [r.name for r in report.results] == list(ALL_CHECKS)
+
+    def test_unknown_check_rejected(self, small_kernel):
+        with pytest.raises(ValueError):
+            validate_kernel(small_kernel, ["magic"])
+
+    def test_summary_mentions_verdict(self, small_kernel):
+        report = validate_kernel(small_kernel, ["plan"])
+        assert "all checks passed" in report.summary()
+
+    @requires_cc
+    def test_split_kernel_validates(self):
+        gen = Cogent(arch="V100", split_factors=(4,))
+        kernel = gen.generate(
+            parse("abc-adc-bd", {"a": 8, "b": 12, "c": 6, "d": 8})
+        )
+        report = validate_kernel(kernel)
+        assert report.passed
+
+    @requires_cc
+    def test_merged_kernel_validates(self):
+        gen = Cogent(arch="V100", allow_merge=True)
+        kernel = gen.generate(
+            parse("abcd-abef-efcd",
+                  {"a": 4, "b": 3, "c": 4, "d": 3, "e": 2, "f": 3})
+        )
+        assert kernel.merge_specs
+        report = validate_kernel(kernel)
+        assert report.passed
+
+    def test_single_precision_tolerances(self):
+        gen = Cogent(arch="V100", dtype_bytes=4, top_k=1)
+        kernel = gen.generate(parse("ab-ak-kb", 8))
+        report = validate_kernel(kernel, ["plan"])
+        assert report.passed
