@@ -14,6 +14,10 @@ Subcommands
 ``bench``
     Run a framework comparison over (a subset of) the suite and print
     the Fig. 4/5-style GFLOPS table.
+``batch``
+    Generate kernels for many contractions at once through the shared
+    kernel cache, parallelised across worker processes, and print the
+    per-contraction search statistics (optionally as JSON).
 ``tune``
     Run the Tensor-Comprehensions-style genetic autotuner and print the
     Fig. 8-style tuning curve.
@@ -23,9 +27,10 @@ Examples
 
 ::
 
-    cogent gen "abcd-aebf-dfce" --sizes 24 --arch V100
+    cogent gen "abcd-aebf-dfce" --sizes 24 --arch V100 --workers 4
     cogent rank "abcdef-gdab-efgc" --sizes 24 --top 10
     cogent bench --group ccsd_t --arch P100
+    cogent batch --group ml --workers 4 --json batch.json
     cogent tune sd_t_d2_1 --population 20 --generations 5
 """
 
@@ -75,6 +80,7 @@ def cmd_gen(args: argparse.Namespace) -> int:
         dtype_bytes=_dtype_bytes(args),
         top_k=args.top_k,
         allow_split=not args.no_split,
+        workers=args.workers,
     )
     kernel = cogent.generate(_resolve_contraction(args))
     if args.emit == "cuda":
@@ -195,6 +201,93 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_batch(args: argparse.Namespace) -> int:
+    """Suite-level batch generation with per-contraction search stats."""
+    import json
+    import time
+
+    from .core.cache import KernelCache
+
+    if args.file:
+        from .tccg.io import load
+
+        benches = tuple(load(args.file))
+    elif args.names:
+        benches = tuple(
+            get(int(n) if n.isdigit() else n) for n in args.names
+        )
+    else:
+        benches = by_group(args.group) if args.group else all_benchmarks()
+    if args.limit:
+        benches = benches[: args.limit]
+
+    cogent = Cogent(
+        arch=args.arch,
+        dtype_bytes=_dtype_bytes(args),
+        top_k=args.top_k,
+        workers=args.search_workers,
+    )
+    cache = KernelCache(cogent)
+    contractions = [bench.contraction() for bench in benches]
+    start = time.perf_counter()
+    kernels = cogent.generate_many(
+        contractions, workers=args.workers, cache=cache
+    )
+    wall_s = time.perf_counter() - start
+
+    print(f"batch of {len(benches)} contractions, {args.arch}, "
+          f"{args.dtype}, {args.workers} worker(s)")
+    print(f"{'#':>3} {'benchmark':<14} {'raw':>7} {'kept':>5} "
+          f"{'pruned%':>8} {'cfg/s':>9} {'search':>9} {'gen':>9} "
+          f"{'GFLOPS':>8}")
+    rows = []
+    total_checked = 0
+    for bench, kernel in zip(benches, kernels):
+        stats = kernel.enumeration.stats
+        search = kernel.enumeration.search_stats
+        sim = kernel.candidates[0].simulated
+        checked = search.configs_checked if search else 0
+        total_checked += checked
+        print(f"{bench.id:>3} {bench.name:<14} "
+              f"{stats.raw_combinations:>7} "
+              f"{len(kernel.enumeration.configs):>5} "
+              f"{stats.pruned_fraction * 100:>7.1f}% "
+              f"{search.configs_per_second if search else 0:>9,.0f} "
+              f"{(search.total_s if search else 0) * 1e3:>7.1f}ms "
+              f"{kernel.generation_time_s * 1e3:>7.1f}ms "
+              f"{sim.gflops if sim else 0:>8.1f}")
+        rows.append({
+            "id": bench.id,
+            "name": bench.name,
+            "expr": bench.expr,
+            "config": kernel.config.describe(),
+            "cost": kernel.cost,
+            "gflops": sim.gflops if sim else None,
+            "generation_s": kernel.generation_time_s,
+            "selection_mode": kernel.selection_mode,
+            "search": search.as_dict() if search else None,
+        })
+    gen_sum = sum(k.generation_time_s for k in kernels)
+    print(f"batch wall-time {wall_s:.2f} s "
+          f"(sum of per-kernel generation {gen_sum:.2f} s, "
+          f"{total_checked / wall_s if wall_s else 0:,.0f} configs/s "
+          f"aggregate); cache: {cache.hits} hits / {cache.misses} misses")
+    if args.json:
+        payload = {
+            "arch": args.arch,
+            "dtype": args.dtype,
+            "workers": args.workers,
+            "search_workers": args.search_workers,
+            "wall_s": wall_s,
+            "configs_checked": total_checked,
+            "kernels": rows,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Regenerate the Figs. 4-8 experiment report."""
     from .evaluation.report import generate_report
@@ -257,6 +350,10 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("cuda", "driver", "cemu", "opencl"),
     )
     p_gen.add_argument("--top-k", type=int, default=64)
+    p_gen.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width for the configuration search",
+    )
     p_gen.add_argument("--no-split", action="store_true")
     p_gen.add_argument(
         "--metrics", action="store_true",
@@ -320,6 +417,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--csv", action="store_true")
     _add_common(p_bench)
     p_bench.set_defaults(func=cmd_bench)
+
+    p_batch = sub.add_parser(
+        "batch", help="batch-generate kernels with search statistics"
+    )
+    p_batch.add_argument(
+        "names", nargs="*",
+        help="TCCG benchmark names/ids (default: the selected group)",
+    )
+    p_batch.add_argument("--group", choices=("ml", "mo", "ccsd", "ccsd_t"))
+    p_batch.add_argument(
+        "--file", metavar="FILE",
+        help="run contractions from a benchmark definition file",
+    )
+    p_batch.add_argument("--limit", type=int, default=0)
+    p_batch.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width across contractions",
+    )
+    p_batch.add_argument(
+        "--search-workers", type=int, default=1,
+        help="process-pool width inside each configuration search "
+        "(only useful with --workers 1)",
+    )
+    p_batch.add_argument("--top-k", type=int, default=64)
+    p_batch.add_argument(
+        "--json", metavar="FILE",
+        help="also write the batch results as JSON",
+    )
+    _add_common(p_batch)
+    p_batch.set_defaults(func=cmd_batch)
 
     p_report = sub.add_parser(
         "report", help="regenerate the experiment report (Figs. 4-8)"

@@ -69,23 +69,49 @@ class KernelCache:
         self.hits = 0
         self.misses = 0
 
-    def get(self, contraction: Contraction) -> GeneratedKernel:
-        """Fetch or generate the kernel for ``contraction``."""
-        key = cache_key(
+    def _key(self, contraction: Contraction) -> str:
+        return cache_key(
             contraction, self.generator.arch, self.generator.dtype_bytes
         )
-        kernel = self._memory.get(key)
+
+    def lookup(self, contraction: Contraction) -> Optional[GeneratedKernel]:
+        """Cached kernel for ``contraction``, or ``None`` (no generation)."""
+        kernel = self._memory.get(self._key(contraction))
         if kernel is not None:
             self.hits += 1
-            return kernel
-        self.misses += 1
-        kernel = self.generator.generate(contraction)
+        else:
+            self.misses += 1
+        return kernel
+
+    def put(
+        self, contraction: Contraction, kernel: GeneratedKernel
+    ) -> None:
+        """Insert an externally generated kernel (batch generation)."""
+        key = self._key(contraction)
         self._memory[key] = kernel
         if self.directory is not None:
             from .serialize import save_kernel
 
             save_kernel(kernel, self.directory / key)
+
+    def get(self, contraction: Contraction) -> GeneratedKernel:
+        """Fetch or generate the kernel for ``contraction``."""
+        kernel = self.lookup(contraction)
+        if kernel is not None:
+            return kernel
+        kernel = self.generator.generate(contraction)
+        self.put(contraction, kernel)
         return kernel
+
+    def get_many(
+        self, contractions, workers: int = 1
+    ) -> "list[GeneratedKernel]":
+        """Batch :meth:`get`: parallelises generation of the misses
+        across ``workers`` processes via :meth:`Cogent.generate_many`,
+        with this cache shared for lookups and insertion."""
+        return self.generator.generate_many(
+            contractions, workers=workers, cache=self
+        )
 
     def __len__(self) -> int:
         return len(self._memory)

@@ -13,12 +13,22 @@ Configurations are checked against two rule families:
   keep the SMs busy, and achievable occupancy must clear a floor.
   Violations are fatal during normal search, but the generator may relax
   them when nothing survives (tiny problem sizes).
+
+Two evaluation modes are offered.  :meth:`ConstraintChecker.check`
+evaluates **every** rule and collects all violations (diagnostics,
+tests).  :meth:`ConstraintChecker.classify` is the search engine's fast
+path: within each family it short-circuits on the first violation, and
+it continuously re-orders the rules by their *measured* selectivity per
+unit cost (rejections per second of checking), so the cheapest,
+most-selective predicates run first.  Rule ordering only affects
+wall-time, never the verdict — the families are pure conjunctions.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..gpu.arch import GpuArch
 from ..gpu.occupancy import compute_occupancy
@@ -46,6 +56,32 @@ class ConstraintPolicy:
 
 
 @dataclass
+class RuleStats:
+    """Measured behaviour of one pruning rule (for adaptive ordering)."""
+
+    checks: int = 0
+    rejections: int = 0
+    time_s: float = 0.0
+
+    @property
+    def selectivity(self) -> float:
+        """Fraction of checked configurations this rule rejected."""
+        return self.rejections / self.checks if self.checks else 0.0
+
+    @property
+    def cost_s(self) -> float:
+        """Mean wall-time of one evaluation of this rule."""
+        return self.time_s / self.checks if self.checks else 0.0
+
+    @property
+    def efficiency(self) -> float:
+        """Rejections per second of checking — the ordering criterion."""
+        if self.time_s <= 0.0:
+            return self.selectivity / 1e-9
+        return self.rejections / self.time_s
+
+
+@dataclass
 class ConstraintReport:
     """Outcome of checking one configuration."""
 
@@ -63,8 +99,22 @@ class ConstraintReport:
         return not self.hardware_violations and not self.performance_violations
 
 
+#: Canonical rule order (declaration order); :meth:`check` reports in
+#: this order so violation listings stay stable regardless of what the
+#: adaptive fast path has learned.
+HARDWARE_RULES: Tuple[str, ...] = ("smem", "registers", "max_threads",
+                                   "nonempty_block")
+PERFORMANCE_RULES: Tuple[str, ...] = (
+    "store_coalescing", "load_coalescing", "min_blocks", "min_threads",
+    "occupancy", "max_steps",
+)
+
+
 class ConstraintChecker:
     """Applies the paper's pruning rules for a target architecture."""
+
+    #: Re-derive the adaptive rule order every this many classifications.
+    REORDER_INTERVAL = 512
 
     def __init__(
         self,
@@ -75,15 +125,28 @@ class ConstraintChecker:
         self.arch = arch
         self.dtype_bytes = dtype_bytes
         self.policy = policy or ConstraintPolicy()
+        #: Measured per-rule behaviour, accumulated by :meth:`classify`.
+        self.rule_stats: Dict[str, RuleStats] = {
+            name: RuleStats() for name in HARDWARE_RULES + PERFORMANCE_RULES
+        }
+        self._classified = 0
+        self._hw_order: Tuple[str, ...] = HARDWARE_RULES
+        self._perf_order: Tuple[str, ...] = PERFORMANCE_RULES
 
     # -- public API ------------------------------------------------------
 
     def check(self, plan: KernelPlan) -> ConstraintReport:
-        """Evaluate all rules for ``plan``."""
+        """Evaluate all rules for ``plan`` and collect every violation."""
         report = ConstraintReport()
-        self._check_hardware(plan, report)
+        for name in HARDWARE_RULES:
+            violation = self._rule(name)(plan)
+            if violation is not None:
+                report.hardware_violations.append(violation)
         if report.feasible:
-            self._check_performance(plan, report)
+            for name in PERFORMANCE_RULES:
+                violation = self._rule(name)(plan)
+                if violation is not None:
+                    report.performance_violations.append(violation)
         return report
 
     def check_config(
@@ -92,95 +155,170 @@ class ConstraintChecker:
         plan = KernelPlan(contraction, config, self.dtype_bytes)
         return self.check(plan)
 
+    def classify(self, plan: KernelPlan) -> str:
+        """Fast verdict for the search engine.
+
+        Returns ``"accepted"``, ``"hardware"`` (not runnable) or
+        ``"performance"`` (runnable but expected slow).  Within each
+        family the rules short-circuit on the first violation, in an
+        order continuously re-derived from measured selectivity/cost, so
+        the verdict is produced as cheaply as possible.  The verdict is
+        identical to :meth:`check`'s — only the wall-time differs.
+        """
+        self._classified += 1
+        if self._classified % self.REORDER_INTERVAL == 0:
+            self._reorder()
+        if self._run_family(self._hw_order, plan):
+            return "hardware"
+        if self._run_family(self._perf_order, plan):
+            return "performance"
+        return "accepted"
+
+    def rule_order(self) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+        """Current adaptive (hardware, performance) rule orders."""
+        return self._hw_order, self._perf_order
+
+    # -- adaptive machinery ----------------------------------------------
+
+    def _rule(self, name: str) -> Callable[[KernelPlan], Optional[str]]:
+        return getattr(self, f"_rule_{name}")
+
+    def _run_family(
+        self, order: Tuple[str, ...], plan: KernelPlan
+    ) -> bool:
+        """Run one rule family, short-circuiting; returns True on reject."""
+        for name in order:
+            stats = self.rule_stats[name]
+            start = time.perf_counter()
+            violation = self._rule(name)(plan)
+            stats.time_s += time.perf_counter() - start
+            stats.checks += 1
+            if violation is not None:
+                stats.rejections += 1
+                return True
+        return False
+
+    def _reorder(self) -> None:
+        """Sort each family by measured rejections/second, descending.
+
+        Ties (including the all-zero cold start) fall back to the
+        canonical declaration order, keeping behaviour deterministic.
+        """
+        def order(names: Tuple[str, ...]) -> Tuple[str, ...]:
+            return tuple(sorted(
+                names,
+                key=lambda n: (-self.rule_stats[n].efficiency,
+                               names.index(n)),
+            ))
+
+        self._hw_order = order(HARDWARE_RULES)
+        self._perf_order = order(PERFORMANCE_RULES)
+
     # -- hardware rules -----------------------------------------------------
 
-    def _check_hardware(self, plan: KernelPlan, report: ConstraintReport) -> None:
-        arch = self.arch
-        out = report.hardware_violations
-        if plan.smem_bytes > arch.shared_mem_per_block:
-            out.append(
+    def _rule_smem(self, plan: KernelPlan) -> Optional[str]:
+        if plan.smem_bytes > self.arch.shared_mem_per_block:
+            return (
                 f"shared memory {plan.smem_bytes} B exceeds per-block "
-                f"capacity {arch.shared_mem_per_block} B"
+                f"capacity {self.arch.shared_mem_per_block} B"
             )
+        return None
+
+    def _rule_registers(self, plan: KernelPlan) -> Optional[str]:
         regs = plan.config.registers_per_thread(self.dtype_bytes)
-        if regs > arch.max_registers_per_thread:
-            out.append(
+        if regs > self.arch.max_registers_per_thread:
+            return (
                 f"{regs} registers/thread exceeds limit "
-                f"{arch.max_registers_per_thread}"
+                f"{self.arch.max_registers_per_thread}"
             )
+        return None
+
+    def _rule_max_threads(self, plan: KernelPlan) -> Optional[str]:
         threads = plan.threads_per_block
-        if threads > arch.max_threads_per_block:
-            out.append(
+        if threads > self.arch.max_threads_per_block:
+            return (
                 f"{threads} threads/block exceeds limit "
-                f"{arch.max_threads_per_block}"
+                f"{self.arch.max_threads_per_block}"
             )
-        if threads < 1:
-            out.append("empty thread block")
+        return None
+
+    def _rule_nonempty_block(self, plan: KernelPlan) -> Optional[str]:
+        if plan.threads_per_block < 1:
+            return "empty thread block"
+        return None
 
     # -- performance rules ----------------------------------------------------
 
-    def _check_performance(
-        self, plan: KernelPlan, report: ConstraintReport
-    ) -> None:
-        policy = self.policy
-        out = report.performance_violations
-        contraction = plan.contraction
-        config = plan.config
-
+    def _rule_store_coalescing(self, plan: KernelPlan) -> Optional[str]:
         # Store coalescing: the output FVI must lead TB_x.
-        tb_x = config.indices_on(Dim.TB_X)
+        contraction = plan.contraction
+        tb_x = plan.config.indices_on(Dim.TB_X)
         if not tb_x or tb_x[0] != contraction.c.fvi:
-            out.append(
+            return (
                 f"output FVI {contraction.c.fvi!r} must be the leading "
                 "TBx index for coalesced stores"
             )
+        return None
 
+    def _rule_load_coalescing(self, plan: KernelPlan) -> Optional[str]:
         # Load coalescing: each input's FVI needs a sizeable tile.
+        contraction = plan.contraction
         for tensor in (contraction.a, contraction.b):
             fvi = tensor.fvi
-            tile = config.tile(fvi)
-            floor = min(policy.min_fvi_tile, contraction.extent(fvi))
+            tile = plan.config.tile(fvi)
+            floor = min(self.policy.min_fvi_tile, contraction.extent(fvi))
             if tile < floor:
-                out.append(
+                return (
                     f"tile {tile} on {tensor.name}'s FVI {fvi!r} is below "
                     f"the coalescing floor {floor}"
                 )
+        return None
 
+    def _rule_min_blocks(self, plan: KernelPlan) -> Optional[str]:
         # Parallelism: enough blocks to avoid starving SMs.
-        min_blocks = int(policy.min_blocks_per_sm * self.arch.num_sms)
+        contraction = plan.contraction
+        min_blocks = int(self.policy.min_blocks_per_sm * self.arch.num_sms)
         max_possible = self._max_possible_blocks(contraction)
         required = min(min_blocks, max_possible)
         if plan.num_blocks < required:
-            out.append(
+            return (
                 f"{plan.num_blocks} thread blocks is below the load-balance "
                 f"threshold {required}"
             )
+        return None
 
+    def _rule_min_threads(self, plan: KernelPlan) -> Optional[str]:
         if plan.threads_per_block < min(
-            policy.min_threads, self._max_possible_threads(contraction)
+            self.policy.min_threads,
+            self._max_possible_threads(plan.contraction),
         ):
-            out.append(
+            return (
                 f"{plan.threads_per_block} threads/block is below "
-                f"{policy.min_threads}"
+                f"{self.policy.min_threads}"
             )
+        return None
 
+    def _rule_occupancy(self, plan: KernelPlan) -> Optional[str]:
         occ = compute_occupancy(
             self.arch,
             plan.threads_per_block,
             plan.smem_bytes,
-            config.registers_per_thread(self.dtype_bytes),
+            plan.config.registers_per_thread(self.dtype_bytes),
         )
-        if occ.fraction < policy.min_occupancy:
-            out.append(
+        if occ.fraction < self.policy.min_occupancy:
+            return (
                 f"occupancy {occ.fraction:.2f} below floor "
-                f"{policy.min_occupancy:.2f} (limited by {occ.limiter})"
+                f"{self.policy.min_occupancy:.2f} (limited by {occ.limiter})"
             )
+        return None
 
-        if policy.max_steps and plan.num_steps > policy.max_steps:
-            out.append(
+    def _rule_max_steps(self, plan: KernelPlan) -> Optional[str]:
+        if self.policy.max_steps and plan.num_steps > self.policy.max_steps:
+            return (
                 f"{plan.num_steps} serial steps exceeds guard "
-                f"{policy.max_steps}"
+                f"{self.policy.max_steps}"
             )
+        return None
 
     # -- helpers -------------------------------------------------------------
 

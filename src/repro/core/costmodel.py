@@ -19,13 +19,18 @@ performance simulator in :mod:`repro.gpu.simulator`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from .ir import Contraction, TensorRef
-from .mapping import KernelConfig
-from .plan import KernelPlan, ceil_div
+from .mapping import KernelConfig, canonical_key
+from .plan import Axis, KernelPlan, ceil_div
 
 TRANSACTION_BYTES = 128
+
+#: Memo key: (role, tensor name, ((index, extent, tile), ...), row width,
+#: rows per step).  Everything the per-tensor sub-computation depends on
+#: besides the instance-wide dtype/transaction widths.
+MemoKey = Tuple[str, str, Tuple[Tuple[str, int, int], ...], int, int]
 
 
 @dataclass(frozen=True)
@@ -52,6 +57,16 @@ class TransactionEstimate:
         )
 
 
+def run_of_axes(axes: Sequence[Axis]) -> int:
+    """``cal_Cont`` over resolved tile axes (storage order, FVI first)."""
+    run = 1
+    for axis in axes:
+        run *= axis.tile
+        if axis.tile < axis.extent:
+            break
+    return run
+
+
 def contiguous_run(plan: KernelPlan, tensor: TensorRef) -> int:
     """Contiguous elements of ``tensor``'s staged tile in global memory.
 
@@ -59,12 +74,7 @@ def contiguous_run(plan: KernelPlan, tensor: TensorRef) -> int:
     the leading indices whose tiles cover the full extent, times the tile
     of the first partial index.
     """
-    run = 1
-    for axis in plan.tensor_tile_axes(tensor):
-        run *= axis.tile
-        if axis.tile < axis.extent:
-            break
-    return run
+    return run_of_axes(plan.tensor_tile_axes(tensor))
 
 
 def row_transactions(
@@ -102,12 +112,75 @@ def row_transactions_paper(row_elements: int, run: int) -> int:
 
 
 class CostModel:
-    """DRAM data-movement cost of kernel configurations."""
+    """DRAM data-movement cost of kernel configurations.
+
+    The per-tensor sub-computations — contiguous run, per-row transaction
+    count and out-of-bounds coverage — depend only on the tensor's tile
+    vector and the row geometry, not on the rest of the configuration.
+    Thousands of configurations in one search share identical per-tensor
+    tilings, so these sub-results are memoised per model instance, keyed
+    on ``(role, tensor, tile-vector, row width, rows per step)``.  The
+    ``memo_hits`` / ``memo_misses`` counters expose the cache behaviour
+    for tests and :class:`~repro.core.enumeration.SearchStats`.
+    """
 
     def __init__(self, dtype_bytes: int = 8,
                  transaction_bytes: int = TRANSACTION_BYTES) -> None:
         self.dtype_bytes = dtype_bytes
         self.transaction_bytes = transaction_bytes
+        #: (per-block-per-step transactions, coverage fraction) by MemoKey.
+        self._memo: Dict[MemoKey, Tuple[int, float]] = {}
+        self.memo_hits = 0
+        self.memo_misses = 0
+
+    # -- memo bookkeeping ---------------------------------------------------
+
+    def memo_info(self) -> Dict[str, int]:
+        """Hit/miss/size counters of the per-tensor memo table."""
+        return {
+            "hits": self.memo_hits,
+            "misses": self.memo_misses,
+            "entries": len(self._memo),
+        }
+
+    def clear_memo(self) -> None:
+        self._memo.clear()
+        self.memo_hits = 0
+        self.memo_misses = 0
+
+    @staticmethod
+    def _axes_signature(
+        axes: Sequence[Axis],
+    ) -> Tuple[Tuple[str, int, int], ...]:
+        return tuple((a.index, a.extent, a.tile) for a in axes)
+
+    def _per_step(
+        self,
+        role: str,
+        name: str,
+        axes: Sequence[Axis],
+        row_elements: int,
+        rows: int,
+    ) -> Tuple[int, float]:
+        """Memoised (transactions per block-step, coverage) for one tensor."""
+        key: MemoKey = (
+            role, name, self._axes_signature(axes), row_elements, rows,
+        )
+        cached = self._memo.get(key)
+        if cached is not None:
+            self.memo_hits += 1
+            return cached
+        self.memo_misses += 1
+        run = run_of_axes(axes)
+        per_row = row_transactions(
+            row_elements, run, self.dtype_bytes, self.transaction_bytes
+        )
+        coverage = 1.0
+        for axis in axes[1:]:
+            coverage *= axis.extent / (axis.num_tiles * axis.tile)
+        value = (per_row * rows, coverage)
+        self._memo[key] = value
+        return value
 
     # -- per-tensor estimates (Algorithm 3) --------------------------------
 
@@ -118,35 +191,32 @@ class CostModel:
         side = plan.input_side(tensor)
         tb = plan.tb_x if side == "x" else plan.tb_y
         reg = plan.reg_x if side == "x" else plan.reg_y
-        run = contiguous_run(plan, tensor)
-        per_row = row_transactions(
-            tb, run, self.dtype_bytes, self.transaction_bytes
-        )
         # Rows per step: the register-tile extent times the TB_k tile
         # (Algorithm 3 lines 9-10).
-        rows_per_step = reg * plan.tb_k_tile
-        per_step = per_row * rows_per_step
+        per_step, coverage = self._per_step(
+            "load", tensor.name, plan.tensor_tile_axes(tensor),
+            tb, reg * plan.tb_k_tile,
+        )
         total = per_step * plan.num_steps * plan.num_blocks
         if clipped:
-            total = int(total * self._coverage(plan, tensor))
+            total = int(total * coverage)
         return total
 
     def output_store_transactions(
         self, plan: KernelPlan, clipped: bool = False
     ) -> int:
         """Transactions to store the output tile of every thread block."""
-        run = contiguous_run(plan, plan.contraction.c)
-        per_row = row_transactions(
-            plan.tb_x, run, self.dtype_bytes, self.transaction_bytes
+        tensor = plan.contraction.c
+        per_block, coverage = self._per_step(
+            "store", tensor.name, plan.tensor_tile_axes(tensor),
+            plan.tb_x, plan.reg_x * plan.tb_y * plan.reg_y,
         )
-        rows = plan.reg_x * plan.tb_y * plan.reg_y
-        total = per_row * rows * plan.num_blocks
+        total = per_block * plan.num_blocks
         if clipped:
-            total = int(total * self._coverage(plan, plan.contraction.c))
+            total = int(total * coverage)
         return total
 
-    @staticmethod
-    def _coverage(plan: KernelPlan, tensor: TensorRef) -> float:
+    def _coverage(self, plan: KernelPlan, tensor: TensorRef) -> float:
         """Fraction of tile rows that are in bounds.
 
         The paper's model charges every block a full tile even when
@@ -200,5 +270,5 @@ class CostModel:
                                           self.dtype_bytes)))
             for config in configs
         ]
-        scored.sort(key=lambda pair: (pair[1], str(pair[0])))
+        scored.sort(key=lambda pair: (pair[1], canonical_key(pair[0])))
         return scored

@@ -19,16 +19,22 @@ performance constraints of :mod:`repro.core.constraints`.
 
 from __future__ import annotations
 
+import heapq
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..gpu.arch import GpuArch
 from .constraints import ConstraintChecker, ConstraintPolicy
+from .costmodel import CostModel
 from .ir import Contraction, IndexKind
-from .mapping import KernelConfig, config_from_spec
+from .mapping import KernelConfig, canonical_key, config_from_spec
+from .plan import KernelPlan
 
 Entry = Tuple[str, int]  # (index name, tile size)
+#: A scored survivor: (model cost, canonical key, configuration).
+Scored = Tuple[int, str, KernelConfig]
 
 #: Paper defaults (Section IV-A.3): thread-block dimension size targets.
 DEFAULT_TB_SIZES: Tuple[int, ...] = (4, 8, 16)
@@ -46,15 +52,17 @@ def paper_search_space(
 
     The paper counts ``|mapping| * |tilesize|`` with four dimension
     choices per external index, two placement orders per additional
-    internal index, and six tile-size choices per index — 3,981,312 for
-    Eq. 1.  The enumerator never materialises this space; the pruning
-    statistic is reported against it.
+    internal index, and six tile-size choices per index *except* the
+    output's FVI, whose leading-``TB_x`` placement pins its tile to the
+    thread-block width — 3,981,312 for Eq. 1 (``4^4 * 2 * 6^5``).  The
+    enumerator never materialises this space; the pruning statistic is
+    reported against it.
     """
     n_ext = len(contraction.external_indices)
     n_int = len(contraction.internal_indices)
     n_all = n_ext + n_int
     mapping = (4 ** n_ext) * (2 ** max(n_int - 1, 0))
-    return mapping * (n_tile_choices ** n_all)
+    return mapping * (n_tile_choices ** max(n_all - 1, 0))
 
 
 @dataclass(frozen=True)
@@ -83,14 +91,180 @@ class EnumerationStats:
 
 
 @dataclass
+class SearchStats:
+    """Wall-time breakdown and counters of one configuration search.
+
+    Times are summed across workers, so in parallel mode they can exceed
+    the elapsed ``total_s`` (they measure work, not latency).
+    """
+
+    #: Building partial-configuration families and candidate configs.
+    enumeration_s: float = 0.0
+    #: Constraint classification (hardware + performance rules).
+    pruning_s: float = 0.0
+    #: Cost-model evaluation and top-k heap maintenance.
+    ranking_s: float = 0.0
+    #: Simulator micro-benchmarks of the top-k (filled by the generator).
+    simulation_s: float = 0.0
+    #: Elapsed wall-time of the whole search (coordinator clock).
+    total_s: float = 0.0
+    #: Worker processes used (1 = serial in-process search).
+    workers: int = 1
+    #: Shards the Cartesian product was striped across.
+    shards: int = 1
+    #: Combinations classified against the constraint rules.
+    configs_checked: int = 0
+    #: Survivors scored by the cost model.
+    configs_ranked: int = 0
+    #: Survivors retained in the bounded top-k after the streaming merge.
+    kept: int = 0
+    #: Candidates micro-benchmarked on the simulator.
+    simulated: int = 0
+    #: Cost-model per-tensor memo behaviour (summed across workers).
+    cost_memo_hits: int = 0
+    cost_memo_misses: int = 0
+
+    @property
+    def search_s(self) -> float:
+        """Total measured work time across phases (excl. simulation)."""
+        return self.enumeration_s + self.pruning_s + self.ranking_s
+
+    @property
+    def configs_per_second(self) -> float:
+        """Classification throughput against elapsed wall-time."""
+        elapsed = self.total_s or self.search_s
+        if elapsed <= 0.0:
+            return 0.0
+        return self.configs_checked / elapsed
+
+    def add(self, other: "SearchStats") -> None:
+        """Accumulate a shard's (or another search's) stats into this."""
+        self.enumeration_s += other.enumeration_s
+        self.pruning_s += other.pruning_s
+        self.ranking_s += other.ranking_s
+        self.simulation_s += other.simulation_s
+        self.configs_checked += other.configs_checked
+        self.configs_ranked += other.configs_ranked
+        self.simulated += other.simulated
+        self.cost_memo_hits += other.cost_memo_hits
+        self.cost_memo_misses += other.cost_memo_misses
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dict for JSON reporting (benchmarks, CLI ``--json``)."""
+        return {
+            "enumeration_s": self.enumeration_s,
+            "pruning_s": self.pruning_s,
+            "ranking_s": self.ranking_s,
+            "simulation_s": self.simulation_s,
+            "total_s": self.total_s,
+            "workers": self.workers,
+            "shards": self.shards,
+            "configs_checked": self.configs_checked,
+            "configs_ranked": self.configs_ranked,
+            "kept": self.kept,
+            "simulated": self.simulated,
+            "configs_per_second": self.configs_per_second,
+            "cost_memo_hits": self.cost_memo_hits,
+            "cost_memo_misses": self.cost_memo_misses,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"search: {self.configs_checked} configs in "
+            f"{self.total_s * 1e3:.1f} ms "
+            f"({self.configs_per_second:,.0f} cfg/s, "
+            f"{self.workers} worker{'s' if self.workers != 1 else ''}) | "
+            f"enum {self.enumeration_s * 1e3:.1f} ms, "
+            f"prune {self.pruning_s * 1e3:.1f} ms, "
+            f"rank {self.ranking_s * 1e3:.1f} ms, "
+            f"sim {self.simulation_s * 1e3:.1f} ms"
+        )
+
+
+@dataclass
 class EnumerationResult:
-    """Accepted configurations plus pruning statistics."""
+    """Accepted configurations plus pruning statistics.
+
+    Produced by both search modes:
+
+    * :meth:`Enumerator.enumerate` materialises **all** accepted
+      configurations (``costs`` is ``None``);
+    * :meth:`Enumerator.search` streams the space through a bounded
+      top-k heap — ``configs`` holds only the ``keep`` best survivors in
+      rank order, with their model costs in ``costs``, and
+      ``search_stats`` carries the timing breakdown.
+    """
 
     configs: List[KernelConfig]
     stats: EnumerationStats
     #: Configurations that were hardware-clean but perf-pruned; used as a
     #: fallback when the performance rules are too strict for a problem.
     feasible_rejects: List[KernelConfig] = field(default_factory=list)
+    #: Model costs aligned with ``configs`` (streaming search only).
+    costs: Optional[List[int]] = None
+    #: Model costs aligned with ``feasible_rejects`` (streaming only).
+    reject_costs: Optional[List[int]] = None
+    #: Timing breakdown (streaming search only).
+    search_stats: Optional[SearchStats] = None
+
+
+class _RevStr:
+    """A string wrapper with reversed ordering (for max-heap tie-break)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_RevStr") -> bool:
+        return self.value > other.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _RevStr) and self.value == other.value
+
+
+class TopK:
+    """A bounded min-k collector over (cost, canonical key) order.
+
+    Internally a max-heap of the k best entries seen so far (costs and
+    keys negated/reversed), so a stream of any length needs O(k) memory
+    and O(log k) per insertion.  Ties on cost break on the canonical
+    config key, making the winner independent of insertion order — the
+    keystone of serial/parallel determinism.
+    """
+
+    def __init__(self, k: int) -> None:
+        self.k = max(1, k)
+        self._heap: List[Tuple[int, _RevStr, KernelConfig]] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, cost: int, key: str, config: KernelConfig) -> None:
+        entry = (-cost, _RevStr(key), config)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, entry)
+            return
+        worst = self._heap[0]
+        if (cost, key) < (-worst[0], worst[1].value):
+            heapq.heapreplace(self._heap, entry)
+
+    def items(self) -> List[Scored]:
+        """Retained entries as (cost, key, config), best first."""
+        ordered = sorted(
+            self._heap, key=lambda e: (-e[0], e[1].value)
+        )
+        return [(-c, rev.value, cfg) for c, rev, cfg in ordered]
+
+
+@dataclass
+class _ShardOutcome:
+    """What one search shard (process or the serial path) returns."""
+
+    top: List[Scored]
+    fallback: List[Scored]
+    stats: EnumerationStats
+    search: SearchStats
 
 
 def _rotations(items: Sequence[str]) -> Iterable[Sequence[str]]:
@@ -300,6 +474,216 @@ class Enumerator:
             accepted.append(config)
 
         return EnumerationResult(accepted, stats, feasible_rejects)
+
+    # -- streaming / parallel search ---------------------------------------
+
+    def _stream(
+        self,
+        cost_model: CostModel,
+        keep: int,
+        shard: int = 0,
+        num_shards: int = 1,
+    ) -> _ShardOutcome:
+        """One pass over this shard of the Cartesian product.
+
+        Prunes with the adaptively-ordered fast constraint path and
+        scores survivors straight into a bounded :class:`TopK`, so the
+        shard never materialises its survivors.  Shard ``shard`` of
+        ``num_shards`` processes product positions ``shard, shard +
+        num_shards, ...`` below the global ``max_configs`` budget, which
+        partitions the serial walk exactly.
+        """
+        stream_start = time.perf_counter()
+        contraction = self.contraction
+        x_partials = self.enumerate_x_side()
+        y_partials = self.enumerate_y_side()
+        k_partials = self.enumerate_tb_k()
+
+        stats = EnumerationStats()
+        search = SearchStats(shards=num_shards)
+        seen: Set[Tuple] = set()
+        top = TopK(keep)
+        fallback = TopK(keep)
+        memo_hits0 = cost_model.memo_hits
+        memo_misses0 = cost_model.memo_misses
+        prune_s = 0.0
+        rank_s = 0.0
+
+        combos = itertools.islice(
+            itertools.product(x_partials, y_partials, k_partials),
+            shard, self.max_configs, num_shards,
+        )
+        for xp, yp, kp in combos:
+            stats.raw_combinations += 1
+            key = (xp.tb, xp.reg, yp.tb, yp.reg, kp)
+            if key in seen:
+                stats.duplicates += 1
+                continue
+            seen.add(key)
+            config = config_from_spec(
+                contraction,
+                tb_x=xp.tb,
+                tb_y=yp.tb,
+                reg_x=xp.reg,
+                reg_y=yp.reg,
+                tb_k=kp,
+                fill_defaults=True,
+            )
+            plan = KernelPlan(contraction, config, self.dtype_bytes)
+            t0 = time.perf_counter()
+            verdict = self.checker.classify(plan)
+            prune_s += time.perf_counter() - t0
+            search.configs_checked += 1
+            if verdict == "hardware":
+                stats.hardware_pruned += 1
+                continue
+            if verdict == "performance":
+                stats.performance_pruned += 1
+                # Rejects only matter when *nothing* is accepted (the
+                # generator's tiny-problem fallback); stop scoring them
+                # as soon as this shard has a real survivor.  When the
+                # fallback is used, no shard found survivors, so every
+                # shard scored every reject — deterministically.
+                if len(top) == 0:
+                    t0 = time.perf_counter()
+                    cost = cost_model.cost(plan)
+                    fallback.push(cost, canonical_key(config), config)
+                    rank_s += time.perf_counter() - t0
+                    search.configs_ranked += 1
+                continue
+            stats.accepted += 1
+            t0 = time.perf_counter()
+            cost = cost_model.cost(plan)
+            top.push(cost, canonical_key(config), config)
+            rank_s += time.perf_counter() - t0
+            search.configs_ranked += 1
+
+        total = time.perf_counter() - stream_start
+        search.pruning_s = prune_s
+        search.ranking_s = rank_s
+        search.enumeration_s = max(total - prune_s - rank_s, 0.0)
+        search.cost_memo_hits = cost_model.memo_hits - memo_hits0
+        search.cost_memo_misses = cost_model.memo_misses - memo_misses0
+        return _ShardOutcome(top.items(), fallback.items(), stats, search)
+
+    def search(
+        self,
+        keep: int = 64,
+        workers: int = 1,
+        cost_model: Optional[CostModel] = None,
+    ) -> EnumerationResult:
+        """Streaming search: prune + rank, retaining only ``keep`` best.
+
+        With ``workers > 1`` the Cartesian product of partial families is
+        striped across a :class:`concurrent.futures.ProcessPoolExecutor`;
+        each worker returns a bounded top-k heap and the coordinator
+        merges them with :func:`heapq.nsmallest`, so survivors are never
+        globally materialised or sorted.  Falls back to the serial
+        in-process path when ``workers <= 1`` or the pool cannot be used
+        (sandboxed environments, unpicklable policies, ...).
+
+        Serial and parallel searches select the identical ranked heads:
+        cost ties break on the canonical config key, and shard striping
+        partitions exactly the combination stream the serial walk sees.
+        (Per-shard *duplicate* counters can differ, since deduplication
+        is per worker.)
+        """
+        start = time.perf_counter()
+        workers = max(1, int(workers))
+        outcomes: List[_ShardOutcome] = []
+        used_workers = 1
+        if workers > 1:
+            try:
+                outcomes = self._search_parallel(keep, workers)
+                used_workers = workers
+            except Exception:
+                outcomes = []
+        if not outcomes:
+            model = cost_model if cost_model is not None else CostModel(
+                self.dtype_bytes, self.arch.transaction_bytes
+            )
+            outcomes = [self._stream(model, keep)]
+            used_workers = 1
+
+        stats = EnumerationStats()
+        search_stats = SearchStats(workers=used_workers,
+                                   shards=len(outcomes))
+        for outcome in outcomes:
+            stats.raw_combinations += outcome.stats.raw_combinations
+            stats.hardware_pruned += outcome.stats.hardware_pruned
+            stats.performance_pruned += outcome.stats.performance_pruned
+            stats.duplicates += outcome.stats.duplicates
+            stats.accepted += outcome.stats.accepted
+            search_stats.add(outcome.search)
+
+        ranked = _merge_scored(
+            (o.top for o in outcomes), keep
+        )
+        rejects = _merge_scored(
+            (o.fallback for o in outcomes), keep
+        )
+        search_stats.kept = len(ranked)
+        search_stats.total_s = time.perf_counter() - start
+        return EnumerationResult(
+            configs=[cfg for _, _, cfg in ranked],
+            stats=stats,
+            feasible_rejects=[cfg for _, _, cfg in rejects],
+            costs=[cost for cost, _, _ in ranked],
+            reject_costs=[cost for cost, _, _ in rejects],
+            search_stats=search_stats,
+        )
+
+    def _search_parallel(
+        self, keep: int, workers: int
+    ) -> List[_ShardOutcome]:
+        """Fan the product shards out over a process pool."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        payloads = [
+            (
+                self.contraction, self.arch, self.dtype_bytes,
+                self.tb_sizes, self.reg_sizes, self.tbk_sizes,
+                self.checker.policy, self.max_configs,
+                keep, shard, workers,
+            )
+            for shard in range(workers)
+        ]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_search_shard, payloads))
+
+
+def _search_shard(payload: Tuple) -> _ShardOutcome:
+    """Process-pool entry point: run one shard of a streaming search."""
+    (contraction, arch, dtype_bytes, tb_sizes, reg_sizes, tbk_sizes,
+     policy, max_configs, keep, shard, num_shards) = payload
+    enumerator = Enumerator(
+        contraction, arch, dtype_bytes,
+        tb_sizes=tb_sizes, reg_sizes=reg_sizes, tbk_sizes=tbk_sizes,
+        policy=policy, max_configs=max_configs,
+    )
+    cost_model = CostModel(dtype_bytes, arch.transaction_bytes)
+    return enumerator._stream(cost_model, keep, shard, num_shards)
+
+
+def _merge_scored(
+    shard_items: Iterable[List[Scored]], keep: int
+) -> List[Scored]:
+    """Streaming merge of per-shard bounded heads.
+
+    Deduplicates identical configurations that surfaced in several
+    shards (the same partial-combination key can occur at different
+    product positions), then takes the ``keep`` smallest by
+    (cost, canonical key) via :func:`heapq.nsmallest`.
+    """
+    best: Dict[str, Scored] = {}
+    for items in shard_items:
+        for entry in items:
+            existing = best.get(entry[1])
+            if existing is None or entry[0] < existing[0]:
+                best[entry[1]] = entry
+    return heapq.nsmallest(
+        keep, best.values(), key=lambda e: (e[0], e[1])
+    )
 
 
 def enumerate_configs(

@@ -15,9 +15,11 @@ emit CUDA for the winner.
 
 from __future__ import annotations
 
+import copy
+import heapq
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..gpu.arch import GpuArch, get_arch
 from ..gpu.simulator import GpuSimulator, ModelParams, SimulationResult
@@ -34,7 +36,7 @@ from .enumeration import (
     Enumerator,
 )
 from .ir import Contraction
-from .mapping import KernelConfig
+from .mapping import KernelConfig, canonical_key
 from .merging import MergeSpec, merge_operands, normalize, unmerge_output
 from .parser import SizesArg, parse
 from .plan import KernelPlan
@@ -89,6 +91,12 @@ class GeneratedKernel:
     @property
     def cost(self) -> int:
         return self.candidates[0].cost
+
+    @property
+    def search_stats(self):
+        """Timing breakdown of the search that picked this kernel
+        (``SearchStats`` or ``None`` on legacy full-enumeration paths)."""
+        return self.enumeration.search_stats
 
     @property
     def cuda_source(self) -> str:
@@ -155,6 +163,9 @@ class GeneratedKernel:
             f"model cost  : {self.cost} DRAM transactions",
             f"gen time    : {self.generation_time_s * 1e3:.1f} ms",
         ]
+        search_stats = self.enumeration.search_stats
+        if search_stats is not None:
+            lines.append(f"timing      : {search_stats.summary()}")
         if self.candidates[0].simulated is not None:
             lines.append(f"predicted   : {self.candidates[0].simulated}")
         return "\n".join(lines)
@@ -173,7 +184,15 @@ class Cogent:
     top_k:
         Number of top model-ranked candidates to micro-benchmark on the
         performance simulator.  ``top_k=1`` selects purely by the cost
-        model (the paper's primary mode).
+        model (the paper's primary mode).  The streaming search keeps
+        exactly ``top_k`` survivors in its bounded heap.
+    workers:
+        Process-pool width for the configuration search: the Cartesian
+        product of partial-configuration families is striped across
+        ``workers`` shards, each pruning and ranking into a bounded
+        top-k heap.  ``workers=1`` (default) searches serially
+        in-process; serial and parallel searches pick the identical best
+        configuration (cost ties break on a canonical config key).
     """
 
     def __init__(
@@ -189,10 +208,12 @@ class Cogent:
         allow_split: bool = True,
         split_factors: Sequence[int] = (4, 8, 16),
         allow_merge: bool = False,
+        workers: int = 1,
     ) -> None:
         self.arch = get_arch(arch) if isinstance(arch, str) else arch
         self.dtype_bytes = dtype_bytes
         self.top_k = max(1, top_k)
+        self.workers = max(1, int(workers))
         self.tb_sizes = tuple(tb_sizes)
         self.reg_sizes = tuple(reg_sizes)
         self.tbk_sizes = tuple(tbk_sizes)
@@ -247,7 +268,7 @@ class Cogent:
 
         best: Optional[GeneratedKernel] = None
         for variant, specs in variants:
-            enumeration = self._enumerate(variant)
+            enumeration = self._search(variant)
             candidates, mode = self._select(variant, enumeration)
             plan = KernelPlan(variant, candidates[0].config, self.dtype_bytes)
             if candidates[0].simulated is None:
@@ -275,6 +296,88 @@ class Cogent:
         best.generation_time_s = time.perf_counter() - start
         return best
 
+    def generate_many(
+        self,
+        contractions: Iterable[Union[str, Contraction]],
+        sizes: SizesArg = None,
+        kernel_name: str = "tc_kernel",
+        workers: Optional[int] = None,
+        cache: Optional["KernelCache"] = None,  # noqa: F821
+    ) -> List[GeneratedKernel]:
+        """Generate kernels for a whole batch of contractions.
+
+        The suite-level companion of :meth:`generate`: contractions are
+        distributed across a process pool (``workers``, defaulting to
+        this generator's ``workers`` setting), with each worker running
+        a serial search so the two parallelism levels do not nest.  When
+        ``cache`` (a :class:`~repro.core.cache.KernelCache`) is given,
+        cached kernels are reused, contractions sharing a cache key are
+        generated once, and fresh kernels are inserted back — exactly
+        what the TCCG suite paths and the CCSD(T) driver need.
+
+        Results come back in input order.  Falls back to a serial loop
+        when the pool is unavailable.
+        """
+        from .cache import cache_key
+
+        workers = self.workers if workers is None else max(1, int(workers))
+        items = [
+            parse(c, sizes) if isinstance(c, str) else c
+            for c in contractions
+        ]
+        results: List[Optional[GeneratedKernel]] = [None] * len(items)
+        jobs: List[Tuple[List[int], Contraction]] = []
+        if cache is None:
+            jobs = [([i], c) for i, c in enumerate(items)]
+        else:
+            by_key: Dict[str, List[int]] = {}
+            for i, contraction in enumerate(items):
+                cached = cache.lookup(contraction)
+                if cached is not None:
+                    results[i] = cached
+                    continue
+                key = cache_key(contraction, self.arch, self.dtype_bytes)
+                by_key.setdefault(key, []).append(i)
+            jobs = [
+                (positions, items[positions[0]])
+                for positions in by_key.values()
+            ]
+
+        kernels = self._generate_batch(
+            [c for _, c in jobs], workers, kernel_name
+        )
+        for (positions, contraction), kernel in zip(jobs, kernels):
+            if cache is not None:
+                cache.put(contraction, kernel)
+            for i in positions:
+                results[i] = kernel
+        assert all(k is not None for k in results)
+        return results  # type: ignore[return-value]
+
+    def _generate_batch(
+        self,
+        contractions: Sequence[Contraction],
+        workers: int,
+        kernel_name: str,
+    ) -> List[GeneratedKernel]:
+        """Generate each contraction, fanning out across processes."""
+        if workers > 1 and len(contractions) > 1:
+            worker_gen = copy.copy(self)
+            worker_gen.workers = 1  # no nested pools inside pool workers
+            payloads = [(worker_gen, c, kernel_name) for c in contractions]
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(contractions))
+                ) as pool:
+                    return list(pool.map(_generate_job, payloads))
+            except Exception:
+                pass  # pool unavailable: fall through to the serial loop
+        return [
+            self.generate(c, kernel_name=kernel_name) for c in contractions
+        ]
+
     def rank_configs(
         self, contraction: Contraction
     ) -> List[Tuple[KernelConfig, int]]:
@@ -293,8 +396,8 @@ class Cogent:
 
     # -- pipeline stages ----------------------------------------------------
 
-    def _enumerate(self, contraction: Contraction) -> EnumerationResult:
-        enumerator = Enumerator(
+    def _enumerator(self, contraction: Contraction) -> Enumerator:
+        return Enumerator(
             contraction,
             self.arch,
             self.dtype_bytes,
@@ -303,7 +406,18 @@ class Cogent:
             tbk_sizes=self.tbk_sizes,
             policy=self.policy,
         )
-        return enumerator.enumerate()
+
+    def _enumerate(self, contraction: Contraction) -> EnumerationResult:
+        """Full (materialising) enumeration — the introspection path."""
+        return self._enumerator(contraction).enumerate()
+
+    def _search(self, contraction: Contraction) -> EnumerationResult:
+        """Streaming prune+rank search, sharded across ``workers``."""
+        return self._enumerator(contraction).search(
+            keep=self.top_k,
+            workers=self.workers,
+            cost_model=self.cost_model,
+        )
 
     def _select(
         self,
@@ -311,22 +425,51 @@ class Cogent:
         enumeration: EnumerationResult,
     ) -> Tuple[List[CandidateScore], str]:
         configs = enumeration.configs
+        costs = enumeration.costs
         if not configs:
             # Performance rules rejected everything (tiny problems):
             # fall back to hardware-feasible configurations.
             configs = enumeration.feasible_rejects
+            costs = enumeration.reject_costs
         if not configs:
             raise RuntimeError(
                 f"no feasible configuration found for {contraction}"
             )
-        ranked = self.cost_model.rank(contraction, configs)
+        if costs:
+            # Streaming search: survivors arrive ranked, costs attached.
+            ranked = list(zip(configs, costs))
+        else:
+            ranked = self.cost_model.rank(contraction, configs)
         candidates = [CandidateScore(cfg, cost) for cfg, cost in ranked]
         if self.top_k == 1 or len(candidates) == 1:
             return candidates, "cost-model"
-        # Micro-benchmark the top-k on the simulator and re-rank them.
+        # Micro-benchmark the top-k on the simulator and re-rank them
+        # with a bounded streaming merge; ties on simulated time break
+        # on (model cost, canonical key) to stay deterministic across
+        # worker counts.
         head = candidates[: self.top_k]
+        sim_start = time.perf_counter()
         for cand in head:
             plan = KernelPlan(contraction, cand.config, self.dtype_bytes)
             cand.simulated = self.simulator.simulate(plan)
-        head.sort(key=lambda cand: cand.simulated.time_s)
+        sim_s = time.perf_counter() - sim_start
+        head = heapq.nsmallest(
+            self.top_k, head,
+            key=lambda cand: (
+                cand.simulated.time_s, cand.cost, canonical_key(cand.config)
+            ),
+        )
+        stats = enumeration.search_stats
+        if stats is not None:
+            stats.simulation_s += sim_s
+            stats.total_s += sim_s
+            stats.simulated += len(head)
         return head + candidates[self.top_k:], "model+microbench"
+
+
+def _generate_job(
+    payload: Tuple[Cogent, Contraction, str]
+) -> GeneratedKernel:
+    """Process-pool entry point for :meth:`Cogent.generate_many`."""
+    generator, contraction, kernel_name = payload
+    return generator.generate(contraction, kernel_name=kernel_name)

@@ -253,6 +253,17 @@ class KernelConfig:
         return self.describe()
 
 
+def canonical_key(config: KernelConfig) -> str:
+    """A stable, total-order key identifying a configuration.
+
+    Used to break cost-model ties deterministically: the search engine
+    (serial or sharded across processes) always prefers the
+    lexicographically smallest key among equal-cost configurations, so
+    every worker split of the search space selects the same winner.
+    """
+    return config.describe()
+
+
 def config_from_spec(
     contraction: Contraction,
     tb_x: Sequence[Tuple[str, int]] = (),

@@ -125,3 +125,26 @@ class TestContract:
     def test_inconsistent_extent_rejected(self):
         with pytest.raises(ValueError):
             contract("ab-ak-kb", np.zeros((4, 5)), np.zeros((6, 4)))
+
+
+class TestBatchCacheApi:
+    def test_lookup_does_not_generate(self, cache):
+        c = parse("ab-ak-kb", 64)
+        assert cache.lookup(c) is None
+        assert cache.misses == 1
+        assert len(cache) == 0
+
+    def test_put_then_lookup(self, cache):
+        c = parse("ab-ak-kb", 64)
+        kernel = cache.generator.generate(c)
+        cache.put(c, kernel)
+        assert cache.lookup(c) is kernel
+        assert cache.hits == 1
+
+    def test_get_many_populates_and_reuses(self, cache):
+        items = [parse("ab-ak-kb", 64), parse("abc-ak-kbc", 32)]
+        kernels = cache.get_many(items)
+        assert len(kernels) == 2
+        assert len(cache) == 2
+        again = cache.get_many(items)
+        assert again[0] is kernels[0] and again[1] is kernels[1]

@@ -91,3 +91,33 @@ class TestTuneCommand:
         out = capsys.readouterr().out
         assert "untuned" in out
         assert "COGENT (model-driven)" in out
+
+
+class TestBatchCommand:
+    def test_batch_by_names(self, capsys):
+        assert main(["batch", "ttm_mode1", "ttm_mode2"]) == 0
+        out = capsys.readouterr().out
+        assert "ttm_mode1" in out and "ttm_mode2" in out
+        assert "cfg/s" in out
+        assert "batch wall-time" in out
+
+    def test_batch_group_with_limit(self, capsys):
+        assert main(["batch", "--group", "mo", "--limit", "1"]) == 0
+        assert "mo_stage1" in capsys.readouterr().out
+
+    def test_batch_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "batch.json"
+        assert main(["batch", "ttm_mode1", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["arch"] == "V100"
+        assert len(payload["kernels"]) == 1
+        kernel = payload["kernels"][0]
+        assert kernel["name"] == "ttm_mode1"
+        assert kernel["search"]["configs_checked"] > 0
+        assert kernel["search"]["kept"] > 0
+
+    def test_batch_by_numeric_id(self, capsys):
+        assert main(["batch", "1"]) == 0
+        assert "cfg/s" in capsys.readouterr().out

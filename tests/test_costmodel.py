@@ -199,3 +199,65 @@ class TestRank:
         first = [c.describe() for c, _ in model.rank(eq1, configs)[:10]]
         second = [c.describe() for c, _ in model.rank(eq1, configs)[:10]]
         assert first == second
+
+
+class TestMemoization:
+    """The per-tensor memo layer must be transparent: identical results
+    to a fresh model, with hits accumulating across shared tilings."""
+
+    def test_counters_start_at_zero(self):
+        model = CostModel()
+        assert model.memo_info() == {"hits": 0, "misses": 0, "entries": 0}
+
+    def test_repeat_estimate_hits(self, eq1):
+        plan = make_plan(
+            eq1, tb_x=[("a", 16)], tb_y=[("d", 16)], tb_k=[("e", 8)]
+        )
+        model = CostModel()
+        first = model.estimate(plan)
+        assert model.memo_hits == 0
+        assert model.memo_misses == 3  # A load, B load, C store
+        second = model.estimate(plan)
+        assert second == first
+        assert model.memo_hits == 3
+        assert model.memo_misses == 3
+
+    def test_shared_tilings_hit_across_configs(self, eq1, v100):
+        from repro.core.enumeration import Enumerator
+
+        configs = Enumerator(eq1, v100).enumerate().configs
+        model = CostModel()
+        model.rank(eq1, configs)
+        info = model.memo_info()
+        # Thousands of configurations share far fewer per-tensor tilings.
+        assert info["hits"] > info["misses"]
+        assert info["entries"] == info["misses"]
+        assert info["hits"] + info["misses"] == 3 * len(configs)
+
+    def test_memoized_equals_fresh(self, eq1, v100):
+        """Every memoized TransactionEstimate equals one computed by a
+        brand-new model (no stale or mixed-up cache entries)."""
+        from repro.core.enumeration import Enumerator
+
+        configs = Enumerator(eq1, v100).enumerate().configs
+        shared = CostModel()
+        for config in configs[:200]:
+            plan = KernelPlan(eq1, config)
+            for clipped in (False, True):
+                assert shared.estimate(plan, clipped) == \
+                    CostModel().estimate(plan, clipped)
+
+    def test_clear_memo(self, eq1):
+        plan = make_plan(eq1, tb_x=[("a", 16)], tb_k=[("e", 4)])
+        model = CostModel()
+        model.estimate(plan)
+        model.clear_memo()
+        assert model.memo_info() == {"hits": 0, "misses": 0, "entries": 0}
+
+    def test_distinct_dtype_models_disagree_safely(self, eq1):
+        # Same key-space, different instance parameters: instances must
+        # not share state.
+        plan = make_plan(eq1, tb_x=[("a", 16)], tb_k=[("e", 4)])
+        dp = CostModel(dtype_bytes=8)
+        sp = CostModel(dtype_bytes=4)
+        assert dp.estimate(plan).total >= sp.estimate(plan).total

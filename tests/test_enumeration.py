@@ -165,3 +165,18 @@ class TestEnumerate:
         # Everything may be perf-pruned, but hardware-feasible configs
         # must exist for the generator's fallback.
         assert result.configs or result.feasible_rejects
+
+
+class TestPaperSearchSpace:
+    """Eq. 1 of the paper (Section IV): 4^4 * 2 * 6^5 = 3,981,312."""
+
+    def test_eq1_matches_paper_figure(self, eq1):
+        from repro.core.enumeration import paper_search_space
+
+        assert paper_search_space(eq1) == 3_981_312
+
+    def test_matmul_space(self):
+        from repro.core.enumeration import paper_search_space
+
+        # ab-ak-kb: 2 externals, 1 internal -> 4^2 * 2^0 * 6^2 = 576.
+        assert paper_search_space(parse("ab-ak-kb", 32)) == 576

@@ -198,3 +198,23 @@ def test_decompose_is_mixed_radix_inverse(flat, sizes):
         back += coord * scale
         scale *= size
     assert back == flat
+
+
+_SHARED_COST_MODEL = CostModel()
+
+
+@given(st.lists(planned_contractions(), min_size=1, max_size=4))
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_memoized_cost_model_equals_fresh(plans):
+    """Property (issue satellite): estimates served through a shared,
+    memo-accumulating cost model are identical to freshly computed
+    ``TransactionEstimate``s, for any plan sequence and both clipping
+    modes."""
+    for plan in plans:
+        for clipped in (False, True):
+            shared = _SHARED_COST_MODEL.estimate(plan, clipped)
+            fresh = CostModel(plan.dtype_bytes).estimate(plan, clipped)
+            assert shared == fresh
+    info = _SHARED_COST_MODEL.memo_info()
+    assert info["hits"] + info["misses"] >= 3 * len(plans)
