@@ -177,6 +177,8 @@ def cmd_suite(args: argparse.Namespace) -> int:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     """Run the framework comparison and print the GFLOPS table."""
+    import json
+
     if args.file:
         from .tccg.io import load
 
@@ -185,9 +187,14 @@ def cmd_bench(args: argparse.Namespace) -> int:
         benches = by_group(args.group) if args.group else all_benchmarks()
     if args.limit:
         benches = benches[: args.limit]
-    runner = SuiteRunner(arch=args.arch, dtype_bytes=_dtype_bytes(args))
+    runner = SuiteRunner(
+        arch=args.arch,
+        dtype_bytes=_dtype_bytes(args),
+        cache_dir=args.cache_dir,
+    )
     frameworks = args.frameworks.split(",")
-    rows = runner.compare(benches, frameworks)
+    rows = runner.compare(benches, frameworks, workers=args.workers)
+    stats = runner.last_stats
     if args.csv:
         print(to_csv(rows, frameworks))
     else:
@@ -198,6 +205,30 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 "(simulated GFLOPS)",
             )
         )
+        print(f"pipeline: {stats.summary()}")
+    if args.json:
+        payload = {
+            "arch": args.arch,
+            "dtype": args.dtype,
+            "workers": args.workers,
+            "cache_dir": args.cache_dir,
+            "stats": stats.as_dict(),
+            "rows": [
+                {
+                    "id": row.benchmark.id,
+                    "name": row.benchmark.name,
+                    "expr": row.benchmark.expr,
+                    "results": {
+                        framework: result.as_dict()
+                        for framework, result in row.results.items()
+                    },
+                }
+                for row in rows
+            ],
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -292,7 +323,11 @@ def cmd_report(args: argparse.Namespace) -> int:
     """Regenerate the Figs. 4-8 experiment report."""
     from .evaluation.report import generate_report
 
-    text = generate_report(quick=not args.full)
+    text = generate_report(
+        quick=not args.full,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+    )
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(text)
@@ -415,6 +450,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma list: cogent,nwchem,talsh,tc,tc_untuned",
     )
     p_bench.add_argument("--csv", action="store_true")
+    p_bench.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width across (benchmark, framework) cells",
+    )
+    p_bench.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="persist framework evaluations; re-runs replay from disk",
+    )
+    p_bench.add_argument(
+        "--json", metavar="FILE",
+        help="also write rows, stage timings and cache counters as JSON",
+    )
     _add_common(p_bench)
     p_bench.set_defaults(func=cmd_bench)
 
@@ -454,6 +501,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument(
         "--full", action="store_true",
         help="run the full 48-entry suite (minutes) instead of a sample",
+    )
+    p_report.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width across (benchmark, framework) cells",
+    )
+    p_report.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="persist framework evaluations across report runs",
     )
     p_report.add_argument("-o", "--output")
     p_report.set_defaults(func=cmd_report)

@@ -14,9 +14,10 @@ fetch from cache), execute the kernel's schedule on the given operands.
 from __future__ import annotations
 
 import hashlib
+import json
 import math
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
@@ -115,6 +116,80 @@ class KernelCache:
 
     def __len__(self) -> int:
         return len(self._memory)
+
+
+#: Bump when the meaning of cached evaluation payloads changes; stale
+#: entries from older layouts then miss instead of being misread.
+EVAL_CACHE_VERSION = 1
+
+
+def eval_cache_key(
+    expr: str,
+    sizes: Mapping[str, int],
+    arch_name: str,
+    dtype_bytes: int,
+    framework: str,
+    params: Optional[Mapping[str, object]] = None,
+) -> str:
+    """A stable string key for one (contraction, framework) evaluation.
+
+    Unlike :func:`cache_key`, extents are NOT bucketed: framework
+    results are exact measurements for one problem instance.  The key
+    also folds in the package version and :data:`EVAL_CACHE_VERSION`,
+    so caches self-invalidate across code changes that could alter the
+    modelled numbers.
+    """
+    from .. import __version__
+
+    sizes_part = ",".join(f"{k}={v}" for k, v in sorted(sizes.items()))
+    params_part = ",".join(
+        f"{k}={v}" for k, v in sorted((params or {}).items())
+    )
+    raw = (
+        f"eval{EVAL_CACHE_VERSION};{__version__};{expr};{sizes_part};"
+        f"{arch_name};{dtype_bytes};{framework};{params_part}"
+    )
+    return hashlib.sha256(raw.encode()).hexdigest()[:16]
+
+
+class EvalCache:
+    """Persistent on-disk store of framework evaluation results.
+
+    One JSON file per key under ``directory``; payloads are plain dicts
+    (the caller decides the schema — :class:`repro.evaluation.runner`
+    stores ``FrameworkResult.as_dict()``).  Writes are atomic
+    (temp file + rename) so concurrent runs sharing a directory never
+    observe torn entries.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def lookup(self, key: str) -> Optional[Dict]:
+        """The stored payload for ``key``, or ``None`` on a miss."""
+        try:
+            payload = json.loads(self._path(key).read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Dict) -> None:
+        """Persist ``payload`` (JSON-serialisable) under ``key``."""
+        target = self._path(key)
+        tmp = target.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        tmp.replace(target)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
 
 
 #: Process-wide default cache used by :func:`contract`.

@@ -95,7 +95,7 @@ def validate_kernel(
                 "OpenCL via pthread harness"
             report.results.append(CheckResult(check, ok, backend))
         elif check == "trace":
-            measured = count_transactions(kernel.plan, exact=False)
+            measured = count_transactions(kernel.plan, exact="auto")
             ok = measured.total > 0
             report.results.append(
                 CheckResult(

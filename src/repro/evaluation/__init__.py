@@ -2,6 +2,7 @@
 
 from .runner import (
     FRAMEWORKS,
+    CompareStats,
     ComparisonRow,
     FrameworkResult,
     SuiteRunner,
@@ -12,6 +13,7 @@ from .tables import curve_table, format_table, to_csv
 
 __all__ = [
     "FRAMEWORKS",
+    "CompareStats",
     "ComparisonRow",
     "FrameworkResult",
     "SuiteRunner",

@@ -11,7 +11,8 @@ from __future__ import annotations
 
 import io
 import time
-from typing import Sequence
+from pathlib import Path
+from typing import Optional, Sequence, Union
 
 from ..baselines.tc import TcAutotuner
 from ..core.generator import Cogent
@@ -32,10 +33,11 @@ def _selection(quick: bool):
 
 
 def _fig45(out: io.StringIO, arch_name: str, figure: int,
-           quick: bool) -> None:
-    runner = SuiteRunner(arch=arch_name)
+           quick: bool, workers: int = 1,
+           cache_dir: Optional[Union[str, Path]] = None) -> None:
+    runner = SuiteRunner(arch=arch_name, cache_dir=cache_dir)
     frameworks = ("cogent", "nwchem", "talsh")
-    rows = runner.compare(_selection(quick), frameworks)
+    rows = runner.compare(_selection(quick), frameworks, workers=workers)
     out.write(f"## Fig. {figure} — TCCG suite on {arch_name} "
               "(double precision)\n\n```\n")
     out.write(format_table(rows, frameworks))
@@ -51,21 +53,25 @@ def _fig45(out: io.StringIO, arch_name: str, figure: int,
     out.write(grouped_bars(highlight, frameworks,
                            title=f"Fig. {figure} excerpt:"))
     out.write("\n```\n\n")
+    out.write(f"_Pipeline: {runner.last_stats.summary()}_\n\n")
 
 
-def _fig67(out: io.StringIO, quick: bool) -> None:
+def _fig67(out: io.StringIO, quick: bool, workers: int = 1,
+           cache_dir: Optional[Union[str, Path]] = None) -> None:
     population, generations = (10, 3) if quick else (40, 10)
     for arch_name, figure in (("P100", 6), ("V100", 7)):
         runner = SuiteRunner(
             arch=arch_name, dtype_bytes=4,
             tc_population=population, tc_generations=generations,
+            cache_dir=cache_dir,
         )
         frameworks = ("cogent", "tc", "tc_untuned")
-        rows = runner.compare(SD2_SUBSET, frameworks)
+        rows = runner.compare(SD2_SUBSET, frameworks, workers=workers)
         out.write(f"## Fig. {figure} — COGENT vs Tensor Comprehensions "
                   f"on {arch_name} (SD2, single precision)\n\n```\n")
         out.write(format_table(rows, frameworks))
         out.write("```\n\n")
+        out.write(f"_Pipeline: {runner.last_stats.summary()}_\n\n")
 
 
 def _fig8(out: io.StringIO, quick: bool) -> None:
@@ -116,8 +122,15 @@ def _pruning(out: io.StringIO, quick: bool) -> None:
 def generate_report(
     quick: bool = True,
     archs: Sequence[str] = ("P100", "V100"),
+    workers: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
 ) -> str:
-    """Build the Markdown report; returns the document text."""
+    """Build the Markdown report; returns the document text.
+
+    ``workers`` fans the framework-comparison cells across processes;
+    ``cache_dir`` persists their results so re-running the report is
+    incremental (only changed cells are re-evaluated).
+    """
     out = io.StringIO()
     started = time.perf_counter()
     out.write("# COGENT reproduction — experiment report\n\n")
@@ -125,8 +138,8 @@ def generate_report(
     out.write(f"Mode: {mode}. All GPU numbers come from the "
               "performance simulator (see DESIGN.md).\n\n")
     for arch_name, figure in zip(archs, (4, 5)):
-        _fig45(out, arch_name, figure, quick)
-    _fig67(out, quick)
+        _fig45(out, arch_name, figure, quick, workers, cache_dir)
+    _fig67(out, quick, workers, cache_dir)
     _fig8(out, quick)
     _pruning(out, quick)
     out.write(

@@ -4,17 +4,30 @@ Used by the ``benchmarks/`` harness (Figs. 4-8 reproductions), the
 examples, and the CLI.  Each framework returns a
 :class:`FrameworkResult` with the modelled execution time and GFLOPS of
 the contraction on the target (simulated) GPU.
+
+:meth:`SuiteRunner.compare` evaluates a whole grid of
+``(benchmark, framework)`` cells.  With ``workers > 1`` the cells fan
+out over a :class:`concurrent.futures.ProcessPoolExecutor` (the same
+worker pattern as :meth:`repro.core.enumeration.Enumerator.search`)
+with a deterministic ordered merge, so parallel results are identical
+to serial.  With ``cache_dir`` set, finished cells persist in an
+:class:`repro.core.cache.EvalCache`; re-running the same suite replays
+them from disk without re-evaluating any framework.
 """
 
 from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple, Union
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import (
+    Dict, Iterable, List, Optional, Sequence, Tuple, Union,
+)
 
 from ..baselines.nwchem import NwchemGenerator
 from ..baselines.tc import TcAutotuner
+from ..core.cache import EvalCache, eval_cache_key
 from ..core.generator import Cogent
 from ..core.ir import Contraction
 from ..gpu.arch import GpuArch, get_arch
@@ -27,14 +40,32 @@ FRAMEWORKS = ("cogent", "nwchem", "talsh", "tc", "tc_untuned")
 
 @dataclass
 class FrameworkResult:
-    """One framework's modelled performance on one contraction."""
+    """One framework's modelled performance on one contraction.
+
+    Stage timings split the measured wall time of producing the result:
+    ``setup_time_s`` covers planning/code generation, ``search_time_s``
+    configuration search or autotuning, and ``simulate_time_s`` the
+    performance-model evaluation.  ``cached`` marks results replayed
+    from an :class:`repro.core.cache.EvalCache` rather than computed.
+    """
 
     framework: str
     benchmark: str
     gflops: float
     time_s: float
     setup_time_s: float = 0.0
+    search_time_s: float = 0.0
+    simulate_time_s: float = 0.0
+    cached: bool = False
     detail: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "FrameworkResult":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
 
 
 @dataclass
@@ -58,6 +89,46 @@ def geomean(values: Iterable[float]) -> float:
     return math.exp(sum(math.log(v) for v in values) / len(values))
 
 
+@dataclass
+class CompareStats:
+    """Counters and timing breakdown of one :meth:`SuiteRunner.compare`.
+
+    Stage times are summed across cells (and, in parallel mode, across
+    workers), so they measure work, not latency, and can exceed
+    ``total_s``.
+    """
+
+    cells: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    evaluated: int = 0
+    workers: int = 1
+    parallel: bool = False
+    cache_enabled: bool = False
+    total_s: float = 0.0
+    setup_s: float = 0.0
+    search_s: float = 0.0
+    simulate_s: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def summary(self) -> str:
+        cache = (
+            f"cache {self.cache_hits} hit / {self.cache_misses} miss"
+            if self.cache_enabled
+            else "cache off"
+        )
+        mode = f"workers={self.workers}" if self.parallel else "serial"
+        return (
+            f"{self.cells} cells in {self.total_s:.2f} s "
+            f"({self.evaluated} evaluated, {cache}, {mode}); "
+            f"stages: setup {self.setup_s:.2f} s, "
+            f"search {self.search_s:.2f} s, "
+            f"simulate {self.simulate_s:.2f} s"
+        )
+
+
 class SuiteRunner:
     """Runs TCCG benchmarks through the compared frameworks."""
 
@@ -68,6 +139,7 @@ class SuiteRunner:
         tc_population: int = 20,
         tc_generations: int = 5,
         tc_seed: int = 0,
+        cache_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         self.arch = get_arch(arch) if isinstance(arch, str) else arch
         self.dtype_bytes = dtype_bytes
@@ -82,6 +154,14 @@ class SuiteRunner:
             generations=tc_generations,
             seed=tc_seed,
         )
+        self.cache = EvalCache(cache_dir) if cache_dir else None
+        self.last_stats: Optional[CompareStats] = None
+        # Picklable constructor arguments, shipped to pool workers so
+        # each process rebuilds an identical runner.
+        self._init_params: Tuple = (
+            self.arch.name, dtype_bytes,
+            tc_population, tc_generations, tc_seed,
+        )
 
     # -- per-framework runs -----------------------------------------------
 
@@ -92,14 +172,24 @@ class SuiteRunner:
         kernel = self.cogent.generate(contraction)
         setup = time.perf_counter() - start
         sim = kernel.candidates[0].simulated
+        sim_s = 0.0
         if sim is None:
+            tick = time.perf_counter()
             sim = self.simulator.simulate(kernel.plan)
+            sim_s = time.perf_counter() - tick
+        stats = kernel.search_stats
+        search_s = setup
+        if stats is not None:
+            sim_s += stats.simulation_s
+            search_s = max(0.0, stats.total_s - stats.simulation_s)
         return FrameworkResult(
             framework="cogent",
             benchmark=name,
             gflops=sim.gflops,
             time_s=sim.time_s,
             setup_time_s=setup,
+            search_time_s=search_s,
+            simulate_time_s=sim_s,
             detail=kernel.config.describe(),
         )
 
@@ -109,13 +199,16 @@ class SuiteRunner:
         start = time.perf_counter()
         plan = self.nwchem.generate(contraction)
         setup = time.perf_counter() - start
+        tick = time.perf_counter()
         sim = self.simulator.simulate(plan)
+        sim_s = time.perf_counter() - tick
         return FrameworkResult(
             framework="nwchem",
             benchmark=name,
             gflops=sim.gflops,
             time_s=sim.time_s,
             setup_time_s=setup,
+            simulate_time_s=sim_s,
             detail=plan.config.describe(),
         )
 
@@ -137,7 +230,9 @@ class SuiteRunner:
     def run_tc(
         self, contraction: Contraction, name: str = ""
     ) -> FrameworkResult:
+        start = time.perf_counter()
         result = self.tc.tune(contraction)
+        search_s = time.perf_counter() - start
         best_time = (
             contraction.flops / (result.best_gflops * 1e9)
             if result.best_gflops > 0
@@ -149,18 +244,22 @@ class SuiteRunner:
             gflops=result.best_gflops,
             time_s=best_time,
             setup_time_s=result.modeled_tuning_time_s,
+            search_time_s=search_s,
             detail=f"{result.evaluations} evaluations",
         )
 
     def run_tc_untuned(
         self, contraction: Contraction, name: str = ""
     ) -> FrameworkResult:
+        start = time.perf_counter()
         gflops = self.tc.untuned_gflops(contraction)
+        sim_s = time.perf_counter() - start
         return FrameworkResult(
             framework="tc_untuned",
             benchmark=name,
             gflops=gflops,
             time_s=contraction.flops / (gflops * 1e9),
+            simulate_time_s=sim_s,
             detail="default mapping, no tuning",
         )
 
@@ -182,21 +281,132 @@ class SuiteRunner:
 
     # -- suite-level comparison -----------------------------------------------
 
+    def _cell_key(self, bench: Benchmark, framework: str) -> str:
+        """Evaluation-cache key for one (benchmark, framework) cell."""
+        return eval_cache_key(
+            bench.expr, bench.sizes, self.arch.name, self.dtype_bytes,
+            framework,
+            {
+                "tc_population": self.tc.population,
+                "tc_generations": self.tc.generations,
+                "tc_seed": self.tc.seed,
+            },
+        )
+
     def compare(
         self,
         benchmarks: Sequence[Benchmark],
         frameworks: Sequence[str] = ("cogent", "nwchem", "talsh"),
+        workers: int = 1,
     ) -> List[ComparisonRow]:
-        rows: List[ComparisonRow] = []
-        for bench in benchmarks:
-            contraction = bench.contraction()
-            row = ComparisonRow(bench)
-            for framework in frameworks:
-                row.results[framework] = self.run(
-                    framework, contraction, bench.name
+        """Evaluate every (benchmark, framework) cell.
+
+        With ``workers > 1`` the cells not satisfied by the evaluation
+        cache fan out over a process pool; results are merged back in
+        grid order, so the returned rows are identical to a serial run.
+        Counters and stage timings land in :attr:`last_stats`.
+        """
+        start = time.perf_counter()
+        cells: List[Tuple[Benchmark, str]] = [
+            (bench, framework)
+            for bench in benchmarks
+            for framework in frameworks
+        ]
+        stats = CompareStats(
+            cells=len(cells),
+            workers=max(1, workers),
+            cache_enabled=self.cache is not None,
+        )
+
+        results: Dict[int, FrameworkResult] = {}
+        pending: List[int] = []
+        for i, (bench, framework) in enumerate(cells):
+            if self.cache is not None:
+                payload = self.cache.lookup(self._cell_key(bench, framework))
+                if payload is not None:
+                    results[i] = replace(
+                        FrameworkResult.from_dict(payload), cached=True
+                    )
+                    continue
+            pending.append(i)
+        if self.cache is not None:
+            stats.cache_hits = len(cells) - len(pending)
+            stats.cache_misses = len(pending)
+
+        fresh: Dict[int, FrameworkResult] = {}
+        if workers > 1 and len(pending) > 1:
+            try:
+                fresh = self._compare_parallel(cells, pending, workers)
+                stats.parallel = True
+            except Exception:
+                fresh = {}
+        for i in pending:
+            if i not in fresh:
+                bench, framework = cells[i]
+                fresh[i] = self.run(framework, bench.contraction(), bench.name)
+        stats.evaluated = len(fresh)
+
+        for i, result in fresh.items():
+            results[i] = result
+            if self.cache is not None:
+                bench, framework = cells[i]
+                self.cache.put(
+                    self._cell_key(bench, framework), result.as_dict()
                 )
+
+        rows: List[ComparisonRow] = []
+        for bi, bench in enumerate(benchmarks):
+            row = ComparisonRow(bench)
+            for fi, framework in enumerate(frameworks):
+                row.results[framework] = results[bi * len(frameworks) + fi]
             rows.append(row)
+
+        for result in results.values():
+            stats.setup_s += result.setup_time_s
+            stats.search_s += result.search_time_s
+            stats.simulate_s += result.simulate_time_s
+        stats.total_s = time.perf_counter() - start
+        self.last_stats = stats
         return rows
+
+    def _compare_parallel(
+        self,
+        cells: Sequence[Tuple[Benchmark, str]],
+        pending: Sequence[int],
+        workers: int,
+    ) -> Dict[int, FrameworkResult]:
+        """Fan the uncached cells out over a process pool."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        payloads = [
+            (self._init_params, cells[i][0], cells[i][1]) for i in pending
+        ]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(_compare_cell, payloads))
+        return dict(zip(pending, outcomes))
+
+
+#: Per-process runner reuse for pool workers: building a SuiteRunner is
+#: cheap, but reusing one lets a worker amortise any internal caches
+#: across the cells it is handed.
+_WORKER_RUNNERS: Dict[Tuple, "SuiteRunner"] = {}
+
+
+def _compare_cell(payload: Tuple) -> FrameworkResult:
+    """Process-pool entry point: evaluate one (benchmark, framework)."""
+    params, bench, framework = payload
+    runner = _WORKER_RUNNERS.get(params)
+    if runner is None:
+        arch, dtype_bytes, population, generations, seed = params
+        runner = SuiteRunner(
+            arch,
+            dtype_bytes,
+            tc_population=population,
+            tc_generations=generations,
+            tc_seed=seed,
+        )
+        _WORKER_RUNNERS[params] = runner
+    return runner.run(framework, bench.contraction(), bench.name)
 
 
 def speedup_summary(

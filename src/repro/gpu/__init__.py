@@ -3,7 +3,14 @@ transactions, functional execution, and analytical performance modelling."""
 
 from .arch import ARCHS, GpuArch, PASCAL_P100, VOLTA_V100, get_arch
 from .executor import execute_plan, reference_contract, verify_plan
-from .memory import MeasuredTransactions, TransactionCounter, count_transactions
+from .memory import (
+    MeasuredTransactions,
+    TransactionCounter,
+    VectorizedReplay,
+    count_transactions,
+    count_transactions_reference,
+    sampled_is_exact,
+)
 from .metrics import KernelMetrics, collect_metrics, roofline_chart
 from .occupancy import Occupancy, compute_occupancy
 from .simulator import GpuSimulator, ModelParams, SimulationResult, simulate_plan
@@ -21,15 +28,18 @@ __all__ = [
     "SimulationResult",
     "TransactionCounter",
     "VOLTA_V100",
+    "VectorizedReplay",
     "WarpLevelSimulator",
     "WarpSimResult",
     "collect_metrics",
     "compute_occupancy",
     "count_transactions",
+    "count_transactions_reference",
     "execute_plan",
     "get_arch",
     "reference_contract",
     "roofline_chart",
+    "sampled_is_exact",
     "simulate_plan",
     "verify_plan",
 ]

@@ -148,3 +148,68 @@ class TestBatchCacheApi:
         assert len(cache) == 2
         again = cache.get_many(items)
         assert again[0] is kernels[0] and again[1] is kernels[1]
+
+
+class TestEvalCache:
+    def test_put_then_lookup_roundtrip(self, tmp_path):
+        from repro.core.cache import EvalCache
+
+        cache = EvalCache(tmp_path / "eval")
+        payload = {"gflops": 123.4, "framework": "cogent"}
+        cache.put("abc123", payload)
+        assert cache.lookup("abc123") == payload
+        assert cache.hits == 1 and cache.misses == 0
+        assert len(cache) == 1
+
+    def test_missing_key_misses(self, tmp_path):
+        from repro.core.cache import EvalCache
+
+        cache = EvalCache(tmp_path / "eval")
+        assert cache.lookup("nothere") is None
+        assert cache.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        from repro.core.cache import EvalCache
+
+        cache = EvalCache(tmp_path / "eval")
+        (cache.directory / "bad0.json").write_text("{not json")
+        assert cache.lookup("bad0") is None
+        assert cache.misses == 1
+
+    def test_persists_across_instances(self, tmp_path):
+        from repro.core.cache import EvalCache
+
+        EvalCache(tmp_path / "eval").put("k", {"v": 1})
+        assert EvalCache(tmp_path / "eval").lookup("k") == {"v": 1}
+
+
+class TestEvalCacheKey:
+    SIZES = {"a": 32, "b": 32, "k": 64}
+
+    def _key(self, **overrides):
+        from repro.core.cache import eval_cache_key
+
+        base = dict(
+            expr="ab-ak-kb", sizes=self.SIZES, arch_name="V100",
+            dtype_bytes=8, framework="cogent",
+            params={"tc_seed": 0},
+        )
+        base.update(overrides)
+        return eval_cache_key(**base)
+
+    def test_deterministic(self):
+        assert self._key() == self._key()
+
+    def test_sensitive_to_every_component(self):
+        base = self._key()
+        assert self._key(expr="ab-kb-ak") != base
+        assert self._key(sizes={"a": 32, "b": 32, "k": 65}) != base
+        assert self._key(arch_name="P100") != base
+        assert self._key(dtype_bytes=4) != base
+        assert self._key(framework="talsh") != base
+        assert self._key(params={"tc_seed": 1}) != base
+
+    def test_extents_not_bucketed(self):
+        # Unlike cache_key, nearby sizes must NOT share evaluations.
+        assert self._key(sizes={"a": 32, "b": 32, "k": 63}) != \
+            self._key(sizes={"a": 32, "b": 32, "k": 64})

@@ -83,6 +83,40 @@ class TestBenchCommand:
         out = capsys.readouterr().out
         assert out.startswith("id,name,expr,cogent,talsh")
 
+    def test_bench_prints_pipeline_stats(self, capsys):
+        assert main(["bench", "--group", "mo", "--limit", "1",
+                     "--frameworks", "cogent,talsh"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline:" in out
+        assert "cells" in out
+
+    def test_bench_workers_cache_and_json(self, tmp_path, capsys):
+        import json
+
+        json_path = tmp_path / "bench.json"
+        argv = ["bench", "--group", "mo", "--limit", "2",
+                "--frameworks", "cogent,talsh", "--workers", "2",
+                "--cache-dir", str(tmp_path / "eval"),
+                "--json", str(json_path)]
+        assert main(argv) == 0
+        cold = json.loads(json_path.read_text())
+        assert cold["workers"] == 2
+        assert cold["stats"]["cells"] == 4
+        assert cold["stats"]["evaluated"] == 4
+        assert cold["stats"]["cache_hits"] == 0
+        cell = cold["rows"][0]["results"]["cogent"]
+        assert cell["gflops"] > 0
+        assert not cell["cached"]
+
+        capsys.readouterr()
+        assert main(argv) == 0
+        warm = json.loads(json_path.read_text())
+        assert warm["stats"]["evaluated"] == 0
+        assert warm["stats"]["cache_hits"] == 4
+        assert warm["rows"][0]["results"]["cogent"]["cached"]
+        assert warm["rows"][0]["results"]["cogent"]["gflops"] == \
+            cold["rows"][0]["results"]["cogent"]["gflops"]
+
 
 class TestTuneCommand:
     def test_tune_small(self, capsys):

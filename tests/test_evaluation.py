@@ -5,6 +5,7 @@ import math
 import pytest
 
 from repro.evaluation import (
+    FrameworkResult,
     SuiteRunner,
     curve_table,
     format_table,
@@ -13,6 +14,15 @@ from repro.evaluation import (
     to_csv,
 )
 from repro.tccg import get
+
+
+def _flatten(rows):
+    return [
+        (row.benchmark.name, framework,
+         result.gflops, result.time_s, result.detail)
+        for row in rows
+        for framework, result in row.results.items()
+    ]
 
 
 @pytest.fixture(scope="module")
@@ -67,6 +77,81 @@ class TestRunner:
         gm, mx = speedup_summary(rows, over="talsh")
         assert gm > 0
         assert mx >= gm
+
+
+class TestCompareStats:
+    def test_stats_recorded(self, runner, rows):
+        stats = runner.last_stats
+        assert stats is not None
+        assert stats.cells == len(_flatten(rows))
+        assert stats.evaluated == stats.cells
+        assert not stats.cache_enabled
+        assert stats.total_s > 0
+        assert stats.setup_s > 0
+
+    def test_summary_mentions_cells(self, runner):
+        assert "cells" in runner.last_stats.summary()
+
+    def test_result_dict_roundtrip(self, rows):
+        result = rows[0].results["cogent"]
+        assert result.search_time_s >= 0
+        assert FrameworkResult.from_dict(result.as_dict()) == result
+
+    def test_from_dict_ignores_unknown_keys(self):
+        payload = {"framework": "cogent", "benchmark": "x",
+                   "gflops": 1.0, "time_s": 2.0, "future_field": 3}
+        result = FrameworkResult.from_dict(payload)
+        assert result.gflops == 1.0
+
+
+class TestCompareParallelAndCache:
+    BENCHES = ("mo_stage1", "mo_stage2")
+    FRAMEWORKS = ("cogent", "talsh")
+
+    def test_parallel_matches_serial(self):
+        benches = [get(n) for n in self.BENCHES]
+        serial_rows = SuiteRunner(arch="V100").compare(
+            benches, self.FRAMEWORKS
+        )
+        parallel = SuiteRunner(arch="V100")
+        parallel_rows = parallel.compare(
+            benches, self.FRAMEWORKS, workers=2
+        )
+        assert _flatten(parallel_rows) == _flatten(serial_rows)
+
+    def test_warm_cache_zero_reevaluations(self, tmp_path):
+        benches = [get(n) for n in self.BENCHES]
+        cold = SuiteRunner(arch="V100", cache_dir=tmp_path / "eval")
+        cold_rows = cold.compare(benches, self.FRAMEWORKS)
+        assert cold.last_stats.cache_misses == cold.last_stats.cells
+        assert cold.last_stats.evaluated == cold.last_stats.cells
+
+        warm = SuiteRunner(arch="V100", cache_dir=tmp_path / "eval")
+        warm_rows = warm.compare(benches, self.FRAMEWORKS)
+        assert warm.last_stats.evaluated == 0
+        assert warm.last_stats.cache_hits == warm.last_stats.cells
+        assert _flatten(warm_rows) == _flatten(cold_rows)
+        for row in warm_rows:
+            for result in row.results.values():
+                assert result.cached
+        for row in cold_rows:
+            for result in row.results.values():
+                assert not result.cached
+
+    def test_cache_keyed_on_tuner_params(self, tmp_path):
+        bench = get("sd_t_d2_1")
+        first = SuiteRunner(
+            arch="V100", tc_population=6, tc_generations=2,
+            cache_dir=tmp_path / "eval",
+        )
+        first.compare([bench], ("tc_untuned",))
+        second = SuiteRunner(
+            arch="V100", tc_population=8, tc_generations=2,
+            cache_dir=tmp_path / "eval",
+        )
+        second.compare([bench], ("tc_untuned",))
+        # Different tuner parameters must not hit each other's entries.
+        assert second.last_stats.cache_hits == 0
 
 
 class TestTables:

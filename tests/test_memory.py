@@ -6,7 +6,13 @@ from repro.core.costmodel import CostModel
 from repro.core.mapping import config_from_spec
 from repro.core.parser import parse
 from repro.core.plan import KernelPlan
-from repro.gpu.memory import TransactionCounter, count_transactions
+from repro.gpu.memory import (
+    TransactionCounter,
+    VectorizedReplay,
+    count_transactions,
+    count_transactions_reference,
+    sampled_is_exact,
+)
 
 
 def make_plan(c, **spec):
@@ -144,3 +150,92 @@ class TestBounds:
         assert measured.load_a > 0
         assert measured.store_c > 0
         assert measured.bytes == measured.total * 128
+
+
+#: (expr, sizes, spec) covering register tiles, multi-index TB_K, and
+#: non-divisible boundary tiles on every axis kind.
+REPLAY_CASES = [
+    ("ab-ak-kb", {"a": 32, "b": 32, "k": 32},
+     dict(tb_x=[("a", 16)], tb_y=[("b", 16)], tb_k=[("k", 16)])),
+    ("ab-ak-kb", {"a": 17, "b": 19, "k": 23},
+     dict(tb_x=[("a", 8)], tb_y=[("b", 8)], tb_k=[("k", 8)])),
+    ("abc-adc-bd", {"a": 12, "b": 10, "c": 6, "d": 9},
+     dict(tb_x=[("a", 8)], reg_x=[("c", 2)], tb_y=[("b", 4)],
+          tb_k=[("d", 4)])),
+    ("abcd-aebf-dfce", {"a": 10, "b": 6, "c": 5, "d": 7, "e": 4, "f": 3},
+     dict(tb_x=[("a", 8)], reg_x=[("b", 2)], tb_y=[("d", 4)],
+          reg_y=[("c", 2)], tb_k=[("e", 2), ("f", 2)])),
+]
+
+
+class TestVectorizedReplay:
+    """The batched replay must be bit-for-bit equal to the loop oracle."""
+
+    @pytest.mark.parametrize("dtype_bytes", [4, 8])
+    @pytest.mark.parametrize("expr,sizes,spec", REPLAY_CASES)
+    def test_matches_loop_reference(self, expr, sizes, spec, dtype_bytes):
+        c = parse(expr, sizes)
+        plan = KernelPlan(c, config_from_spec(c, **spec), dtype_bytes)
+        assert VectorizedReplay(plan).count() == \
+            count_transactions_reference(plan)
+
+    def test_exact_true_uses_vectorized_path(self):
+        c = parse("ab-ak-kb", {"a": 17, "b": 19, "k": 23})
+        plan = make_plan(
+            c, tb_x=[("a", 8)], tb_y=[("b", 8)], tb_k=[("k", 8)]
+        )
+        assert count_transactions(plan, exact=True) == \
+            count_transactions_reference(plan)
+
+
+class TestAutoMode:
+    def test_auto_replays_exactly_on_boundary_tiles(self):
+        c = parse("ab-ak-kb", {"a": 17, "b": 19, "k": 23})
+        plan = make_plan(
+            c, tb_x=[("a", 8)], tb_y=[("b", 8)], tb_k=[("k", 8)]
+        )
+        assert not sampled_is_exact(plan)
+        auto = count_transactions(plan, exact="auto")
+        assert auto == count_transactions(plan, exact=True)
+        # The sampled estimate over-counts here (the original boundary
+        # bug): one interior block scaled by num_blocks.
+        assert count_transactions(plan, exact=False).total > auto.total
+
+    def test_auto_replays_exactly_on_misaligned_tiles(self):
+        # Tiles divide the extents, but an 8-double TB_X tile (64 B)
+        # shifts successive blocks within a 128 B line, so block 0 is
+        # not representative of the whole grid.
+        c = parse("ab-ak-kb", {"a": 32, "b": 32, "k": 32})
+        plan = make_plan(
+            c, tb_x=[("a", 8)], tb_y=[("b", 8)], tb_k=[("k", 8)]
+        )
+        assert not sampled_is_exact(plan)
+        assert count_transactions(plan, exact="auto") == \
+            count_transactions(plan, exact=True)
+
+    def test_auto_samples_on_divisible_aligned_tiles(self):
+        c = parse("ab-ak-kb", {"a": 32, "b": 32, "k": 32})
+        plan = make_plan(
+            c, tb_x=[("a", 16)], tb_y=[("b", 16)], tb_k=[("k", 16)]
+        )
+        assert sampled_is_exact(plan)
+        auto = count_transactions(plan, exact="auto")
+        assert auto == count_transactions(plan, exact=False)
+        assert auto == count_transactions(plan, exact=True)
+
+    def test_sampled_equals_exact_when_divisible_and_aligned(self):
+        c = parse("abc-adc-bd", {"a": 16, "b": 8, "c": 4, "d": 8})
+        plan = make_plan(
+            c, tb_x=[("a", 16)], tb_y=[("b", 8)], tb_k=[("d", 4)]
+        )
+        assert sampled_is_exact(plan)
+        assert count_transactions(plan, exact=False) == \
+            count_transactions(plan, exact=True)
+
+    def test_invalid_mode_rejected(self):
+        c = parse("ab-ak-kb", {"a": 8, "b": 8, "k": 8})
+        plan = make_plan(
+            c, tb_x=[("a", 8)], tb_y=[("b", 8)], tb_k=[("k", 8)]
+        )
+        with pytest.raises(ValueError):
+            count_transactions(plan, exact="always")

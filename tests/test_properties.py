@@ -23,7 +23,12 @@ from repro.gpu.executor import (
     random_operands,
     reference_contract,
 )
-from repro.gpu.memory import count_transactions
+from repro.gpu.memory import (
+    VectorizedReplay,
+    count_transactions,
+    count_transactions_reference,
+    sampled_is_exact,
+)
 
 # -- strategies -------------------------------------------------------------
 
@@ -165,6 +170,36 @@ def test_cost_model_and_trace_within_bounded_ratio(plan):
     assert model.total > 0
     ratio = model.total / measured.total
     assert 1 / 8 <= ratio <= 8
+
+
+@given(planned_contractions(), st.sampled_from([4, 8]))
+@settings(max_examples=50, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_vectorized_replay_equals_loop_reference(plan, dtype_bytes):
+    """Property (issue satellite): the batched equivalence-class replay
+    produces bit-for-bit the loads (A and B) and stores (C) of the
+    retained per-(block, step) loop oracle, for any legal plan —
+    including non-divisible boundary tiles — and both dtype widths."""
+    plan = KernelPlan(plan.contraction, plan.config, dtype_bytes)
+    vectorized = VectorizedReplay(plan).count()
+    reference = count_transactions_reference(plan)
+    assert vectorized.load_a == reference.load_a
+    assert vectorized.load_b == reference.load_b
+    assert vectorized.store_c == reference.store_c
+
+
+@given(planned_contractions())
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_sampled_is_exact_predicate_is_sound(plan):
+    """Whenever the divisibility/alignment predicate promises the
+    sampled estimate is exact, it must actually equal the full replay
+    (``exact="auto"`` relies on this)."""
+    if sampled_is_exact(plan):
+        assert count_transactions(plan, exact=False) == \
+            count_transactions(plan, exact=True)
+    assert count_transactions(plan, exact="auto") == \
+        count_transactions(plan, exact=True)
 
 
 @given(

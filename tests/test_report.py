@@ -16,10 +16,10 @@ def tiny_report(module_mocker=None):
     def tiny_selection(quick):
         return (get("mo_stage1"), get("sd_t_d1_1"))
 
-    def tiny_fig67(out, quick):
+    def tiny_fig67(out, quick, *args, **kwargs):
         original_fig67(out, True)
 
-    def tiny_fig8(out, quick):
+    def tiny_fig8(out, quick, *args, **kwargs):
         original_fig8(out, True)
 
     report_mod._selection = tiny_selection
