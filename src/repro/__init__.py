@@ -3,6 +3,11 @@ contractions (CGO 2019).
 
 Public API highlights:
 
+* :mod:`repro.api` — the blessed high-level surface: a frozen
+  :class:`repro.api.Options` bundle plus :func:`repro.compile`,
+  :func:`repro.rank`, :func:`repro.evaluate`, :func:`repro.tune`.
+* :mod:`repro.obs` — observability: hierarchical span tracing and a
+  central metrics registry covering every pipeline stage.
 * :class:`repro.Cogent` — the code generator: parse a contraction,
   search the pruned configuration space with the DRAM-transaction cost
   model, emit CUDA (and a compilable C emulation).
@@ -38,11 +43,22 @@ from .core.plan import KernelPlan
 from .gpu.arch import ARCHS, GpuArch, PASCAL_P100, VOLTA_V100, get_arch
 from .gpu.executor import execute_plan, reference_contract, verify_plan
 from .gpu.simulator import GpuSimulator, ModelParams, SimulationResult
+from . import obs
+from . import api
+from .api import Options, compile, evaluate, last_trace, rank, tune
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ARCHS",
+    "Options",
+    "api",
+    "compile",
+    "evaluate",
+    "last_trace",
+    "obs",
+    "rank",
+    "tune",
     "Cogent",
     "ConstraintChecker",
     "ConstraintPolicy",

@@ -1,0 +1,252 @@
+"""The blessed high-level API: one options object, four verbs.
+
+Historically the knobs that shape a run — process-pool width, search
+beam, cache directory, target architecture, precision — were scattered
+as keyword arguments across :class:`repro.core.generator.Cogent`,
+:meth:`repro.evaluation.runner.SuiteRunner.compare` and
+:meth:`repro.core.enumeration.Enumerator.search`.  This module gathers
+them into one frozen :class:`Options` dataclass and exposes the four
+common entry points as plain functions:
+
+* :func:`compile`  — generate the best kernel for one contraction;
+* :func:`rank`     — cost-model ranking of the pruned configurations;
+* :func:`evaluate` — run benchmark × framework comparison grids;
+* :func:`tune`     — the TC-style genetic autotuner baseline.
+
+The old keyword paths still work but emit :class:`DeprecationWarning`
+(behaviour is unchanged).  Typical use::
+
+    from repro import api
+
+    opts = api.Options(workers=4, arch="P100", trace=True)
+    kernel = api.compile("abcd-aebf-dfce", 24, options=opts)
+    print(api.last_trace()["metrics"]["counters"]["search.searches"])
+
+With ``Options(trace=True)`` each call runs inside its own
+observability session (unless one is already active, in which case it
+joins it); :func:`last_trace` returns the most recent completed
+session's ``repro.obs.v1`` payload.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import (
+    Dict, Iterator, List, Optional, Sequence, Tuple, Union,
+)
+
+from . import obs
+from .core.cache import KernelCache
+from .core.generator import Cogent, GeneratedKernel
+from .core.ir import Contraction
+from .core.mapping import KernelConfig
+from .core.parser import SizesArg, parse
+from .evaluation.runner import ComparisonRow, SuiteRunner
+from .gpu.arch import ARCHS
+from .tccg.suite import Benchmark
+
+__all__ = [
+    "Options",
+    "compile",
+    "evaluate",
+    "last_trace",
+    "rank",
+    "tune",
+]
+
+_DTYPE_BYTES = {"double": 8, "single": 4}
+
+
+@dataclass(frozen=True)
+class Options:
+    """Run-shaping knobs for the high-level API, in one place.
+
+    Attributes
+    ----------
+    workers:
+        Process-pool width for the configuration search
+        (:func:`compile`) and for comparison-grid cells
+        (:func:`evaluate`).  1 = serial; parallel results are
+        deterministic and identical to serial.
+    top_k:
+        Search beam: number of top model-ranked candidates kept and
+        micro-benchmarked on the simulator.  ``top_k=1`` selects purely
+        by the cost model (the paper's primary mode).
+    cache_dir:
+        Directory for persistent caches — generated-kernel packages in
+        :func:`compile`, framework evaluation results in
+        :func:`evaluate`.  ``None`` disables persistence.
+    arch:
+        Target GPU name (``"P100"`` or ``"V100"``).
+    dtype:
+        ``"double"`` (paper default) or ``"single"``.
+    trace:
+        Run each API call inside an observability session; fetch the
+        exported payload afterwards with :func:`last_trace`.
+    """
+
+    workers: int = 1
+    top_k: int = 64
+    cache_dir: Optional[Union[str, Path]] = None
+    arch: str = "V100"
+    dtype: str = "double"
+    trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {self.top_k}")
+        if self.dtype not in _DTYPE_BYTES:
+            raise ValueError(
+                f"dtype must be one of {sorted(_DTYPE_BYTES)}, "
+                f"got {self.dtype!r}"
+            )
+        if self.arch not in ARCHS:
+            raise ValueError(
+                f"arch must be one of {sorted(ARCHS)}, got {self.arch!r}"
+            )
+
+    @property
+    def dtype_bytes(self) -> int:
+        """8 for double precision, 4 for single."""
+        return _DTYPE_BYTES[self.dtype]
+
+    def evolve(self, **changes) -> "Options":
+        """A copy with the given fields replaced (Options is frozen)."""
+        return replace(self, **changes)
+
+
+DEFAULT_OPTIONS = Options()
+
+#: Payload of the most recent session opened by ``Options(trace=True)``.
+_LAST_TRACE: Optional[Dict] = None
+
+
+def last_trace() -> Optional[Dict]:
+    """The ``repro.obs.v1`` payload of the last traced API call.
+
+    ``None`` until a call with ``Options(trace=True)`` completes.  When
+    a call joins an already-active outer session, the outer session
+    owns the data and this stays unchanged.
+    """
+    return _LAST_TRACE
+
+
+@contextmanager
+def _traced(options: Options, command: str) -> Iterator[None]:
+    """Open an observability session when options ask for one."""
+    global _LAST_TRACE
+    if not options.trace or obs.enabled():
+        yield
+        return
+    with obs.tracing(meta={"command": command}) as session:
+        yield
+    _LAST_TRACE = session.payload()
+
+
+def _generator(options: Options) -> Cogent:
+    generator = Cogent(
+        arch=options.arch,
+        dtype_bytes=options.dtype_bytes,
+        top_k=options.top_k,
+    )
+    # Attribute assignment, not the constructor keyword: the keyword is
+    # the deprecated spelling this facade replaces.
+    generator.workers = options.workers
+    return generator
+
+
+def compile(
+    expression: Union[str, Contraction],
+    sizes: SizesArg = None,
+    options: Options = DEFAULT_OPTIONS,
+    kernel_name: str = "tc_kernel",
+) -> GeneratedKernel:
+    """Generate the best kernel for one contraction.
+
+    ``expression`` may use any syntax accepted by
+    :func:`repro.core.parser.parse`, or be an already-built
+    :class:`~repro.core.ir.Contraction` (``sizes`` is then ignored).
+    With ``options.cache_dir`` set, generated kernels persist on disk
+    and repeat calls replay them.
+    """
+    with _traced(options, "compile"):
+        generator = _generator(options)
+        if options.cache_dir is not None:
+            contraction = (
+                parse(expression, sizes)
+                if isinstance(expression, str) else expression
+            )
+            cache = KernelCache(generator, directory=options.cache_dir)
+            return cache.get(contraction)
+        return generator.generate(expression, sizes, kernel_name)
+
+
+def rank(
+    expression: Union[str, Contraction],
+    sizes: SizesArg = None,
+    options: Options = DEFAULT_OPTIONS,
+) -> List[Tuple[KernelConfig, int]]:
+    """All pruned configurations ranked by the DRAM-transaction model."""
+    with _traced(options, "rank"):
+        contraction = (
+            parse(expression, sizes)
+            if isinstance(expression, str) else expression
+        )
+        return _generator(options).rank_configs(contraction)
+
+
+def evaluate(
+    benchmarks: Sequence[Benchmark],
+    frameworks: Sequence[str] = ("cogent", "nwchem", "talsh"),
+    options: Options = DEFAULT_OPTIONS,
+) -> List[ComparisonRow]:
+    """Evaluate a benchmark × framework comparison grid.
+
+    Cells fan out over ``options.workers`` processes and persist in an
+    evaluation cache under ``options.cache_dir`` (when set); results are
+    identical to a serial, uncached run.
+    """
+    with _traced(options, "evaluate"):
+        runner = SuiteRunner(
+            arch=options.arch,
+            dtype_bytes=options.dtype_bytes,
+            _cache_dir=options.cache_dir,
+        )
+        return runner.compare(
+            benchmarks, frameworks, _workers=options.workers
+        )
+
+
+def tune(
+    expression: Union[str, Contraction],
+    sizes: SizesArg = None,
+    options: Options = DEFAULT_OPTIONS,
+    population: int = 20,
+    generations: int = 5,
+    seed: int = 0,
+):
+    """Run the TC-style genetic autotuner baseline on one contraction.
+
+    Returns a :class:`repro.baselines.tc.TuneResult` with the tuning
+    curve, best configuration and modelled tuning cost.
+    """
+    from .baselines.tc import TcAutotuner
+    from .gpu.arch import get_arch
+
+    with _traced(options, "tune"):
+        contraction = (
+            parse(expression, sizes)
+            if isinstance(expression, str) else expression
+        )
+        tuner = TcAutotuner(
+            get_arch(options.arch),
+            options.dtype_bytes,
+            population=population,
+            generations=generations,
+            seed=seed,
+        )
+        return tuner.tune(contraction)

@@ -109,6 +109,17 @@ class TcAutotuner:
 
     def tune(self, contraction: Contraction) -> TuneResult:
         """Run the GA and return the tuning trace."""
+        from .. import obs
+
+        with obs.span("tune"):
+            result = self._tune(contraction)
+        obs.inc("tune.runs")
+        obs.inc("tune.evaluations", result.evaluations)
+        obs.observe("tune.wall_s", result.wall_time_s)
+        obs.observe("tune.best_gflops", result.best_gflops)
+        return result
+
+    def _tune(self, contraction: Contraction) -> TuneResult:
         rng = np.random.default_rng(self.seed)
         start = time.perf_counter()
         curve: List[float] = []

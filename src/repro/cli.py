@@ -21,6 +21,15 @@ Subcommands
 ``tune``
     Run the Tensor-Comprehensions-style genetic autotuner and print the
     Fig. 8-style tuning curve.
+``trace``
+    Validate and summarise a ``--metrics-out`` observability payload
+    (span-tree flamegraph plus metric counters).
+
+The ``gen``/``rank``/``bench``/``batch``/``report``/``tune`` commands
+share normalized ``--arch``/``--dtype``/``--workers``/``--cache-dir``/
+``--json`` flags with identical semantics, and ``gen``/``bench``/
+``batch``/``tune`` accept ``--trace``/``--metrics-out`` to record an
+observability session around the run.
 
 Examples
 --------
@@ -48,7 +57,9 @@ from .gpu.arch import ARCHS
 from .tccg import all_benchmarks, by_group, get
 
 
-def _add_common(p: argparse.ArgumentParser) -> None:
+def _common_parent() -> argparse.ArgumentParser:
+    """Shared ``--arch``/``--dtype`` flags (identical on every command)."""
+    p = argparse.ArgumentParser(add_help=False)
     p.add_argument(
         "--arch", default="V100", choices=sorted(ARCHS),
         help="target GPU architecture (default V100)",
@@ -57,6 +68,48 @@ def _add_common(p: argparse.ArgumentParser) -> None:
         "--dtype", default="double", choices=("double", "float"),
         help="element type (default double)",
     )
+    return p
+
+
+def _run_parent() -> argparse.ArgumentParser:
+    """Shared ``--workers``/``--cache-dir``/``--json`` flags.
+
+    Semantics are identical on every command that accepts them:
+    ``--workers`` is the process-pool width (1 = serial; parallel runs
+    are deterministic and identical to serial), ``--cache-dir`` the
+    directory for persistent result caches, ``--json`` a file to also
+    write the command's results to as JSON.
+    """
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width (default 1 = serial)",
+    )
+    p.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="directory for persistent result caches",
+    )
+    p.add_argument(
+        "--json", metavar="FILE",
+        help="also write the command's results as JSON",
+    )
+    return p
+
+
+def _obs_parent() -> argparse.ArgumentParser:
+    """Shared observability flags (``--trace``/``--metrics-out``)."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument(
+        "--trace", action="store_true",
+        help="trace pipeline stages; print the self-time profile and "
+        "metric counters to stderr afterwards",
+    )
+    p.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="write the full span trace + metrics payload "
+        "(repro.obs.v1 JSON) to FILE",
+    )
+    return p
 
 
 def _dtype_bytes(args: argparse.Namespace) -> int:
@@ -73,16 +126,29 @@ def _resolve_contraction(args: argparse.Namespace):
         return parse(expr, parse_size_spec(args.sizes))
 
 
+def _make_generator(args: argparse.Namespace, **extra) -> Cogent:
+    """Build a Cogent from normalized CLI flags (no deprecated kwargs)."""
+    cogent = Cogent(
+        arch=args.arch, dtype_bytes=_dtype_bytes(args), **extra
+    )
+    cogent.workers = max(1, getattr(args, "workers", 1))
+    return cogent
+
+
 def cmd_gen(args: argparse.Namespace) -> int:
     """Generate a kernel and print/write the chosen backend's source."""
-    cogent = Cogent(
-        arch=args.arch,
-        dtype_bytes=_dtype_bytes(args),
-        top_k=args.top_k,
-        allow_split=not args.no_split,
-        workers=args.workers,
+    cogent = _make_generator(
+        args, top_k=args.top_k, allow_split=not args.no_split
     )
-    kernel = cogent.generate(_resolve_contraction(args))
+    contraction = _resolve_contraction(args)
+    if args.cache_dir:
+        from .core.cache import KernelCache
+
+        kernel = KernelCache(cogent, directory=args.cache_dir).get(
+            contraction
+        )
+    else:
+        kernel = cogent.generate(contraction)
     if args.emit == "cuda":
         source = kernel.cuda_source
     elif args.emit == "driver":
@@ -106,6 +172,23 @@ def cmd_gen(args: argparse.Namespace) -> int:
             simulated=kernel.candidates[0].simulated,
         )
         print(metrics.report(), file=sys.stderr)
+    if args.json:
+        import json
+
+        sim = kernel.candidates[0].simulated
+        payload = {
+            "arch": args.arch,
+            "dtype": args.dtype,
+            "expr": args.expr,
+            "config": kernel.config.describe(),
+            "cost": kernel.cost,
+            "gflops": sim.gflops if sim else None,
+            "generation_s": kernel.generation_time_s,
+            "selection_mode": kernel.selection_mode,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}", file=sys.stderr)
     return 0
 
 
@@ -148,14 +231,34 @@ def cmd_save(args: argparse.Namespace) -> int:
 def cmd_rank(args: argparse.Namespace) -> int:
     """Print the top cost-model-ranked configurations."""
     contraction = _resolve_contraction(args)
-    cogent = Cogent(arch=args.arch, dtype_bytes=_dtype_bytes(args))
+    cogent = _make_generator(args)
     ranked = cogent.rank_configs(contraction)
     print(f"{len(ranked)} configurations after pruning; top {args.top}:")
     print(f"{'rank':>4} {'cost(txns)':>12} {'GFLOPS':>9}  config")
+    rows = []
     for pos, (config, cost) in enumerate(ranked[: args.top]):
         plan = KernelPlan(contraction, config, _dtype_bytes(args))
         sim = cogent.predict(plan)
         print(f"{pos:>4} {cost:>12} {sim.gflops:>9.1f}  {config.describe()}")
+        rows.append({
+            "rank": pos,
+            "cost": cost,
+            "gflops": sim.gflops,
+            "config": config.describe(),
+        })
+    if args.json:
+        import json
+
+        payload = {
+            "arch": args.arch,
+            "dtype": args.dtype,
+            "expr": args.expr,
+            "pruned_total": len(ranked),
+            "top": rows,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}", file=sys.stderr)
     return 0
 
 
@@ -190,10 +293,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
     runner = SuiteRunner(
         arch=args.arch,
         dtype_bytes=_dtype_bytes(args),
-        cache_dir=args.cache_dir,
+        _cache_dir=args.cache_dir,
     )
     frameworks = args.frameworks.split(",")
-    rows = runner.compare(benches, frameworks, workers=args.workers)
+    rows = runner.compare(benches, frameworks, _workers=args.workers)
     stats = runner.last_stats
     if args.csv:
         print(to_csv(rows, frameworks))
@@ -256,9 +359,9 @@ def cmd_batch(args: argparse.Namespace) -> int:
         arch=args.arch,
         dtype_bytes=_dtype_bytes(args),
         top_k=args.top_k,
-        workers=args.search_workers,
     )
-    cache = KernelCache(cogent)
+    cogent.workers = max(1, args.search_workers)
+    cache = KernelCache(cogent, directory=args.cache_dir)
     contractions = [bench.contraction() for bench in benches]
     start = time.perf_counter()
     kernels = cogent.generate_many(
@@ -323,8 +426,10 @@ def cmd_report(args: argparse.Namespace) -> int:
     """Regenerate the Figs. 4-8 experiment report."""
     from .evaluation.report import generate_report
 
+    archs = ("P100", "V100") if args.arch is None else (args.arch,)
     text = generate_report(
         quick=not args.full,
+        archs=archs,
         workers=args.workers,
         cache_dir=args.cache_dir,
     )
@@ -334,6 +439,19 @@ def cmd_report(args: argparse.Namespace) -> int:
         print(f"wrote {args.output}")
     else:
         print(text)
+    if args.json:
+        import json
+
+        payload = {
+            "quick": not args.full,
+            "archs": list(archs),
+            "workers": args.workers,
+            "cache_dir": args.cache_dir,
+            "report": text,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -358,13 +476,66 @@ def cmd_tune(args: argparse.Namespace) -> int:
         f"{result.evaluations} code versions "
         f"(modeled tuning time {result.modeled_tuning_time_s:.0f} s)"
     )
-    cogent = Cogent(arch=args.arch, dtype_bytes=_dtype_bytes(args))
+    cogent = _make_generator(args)
     kernel = cogent.generate(contraction)
     print(
         f"COGENT (model-driven): "
         f"{kernel.candidates[0].simulated.gflops:.1f} GFLOPS in "
         f"{kernel.generation_time_s:.2f} s of code generation"
     )
+    if args.json:
+        import json
+
+        payload = {
+            "arch": args.arch,
+            "dtype": args.dtype,
+            "expr": args.expr,
+            "population": args.population,
+            "generations": args.generations,
+            "seed": args.seed,
+            "evaluations": result.evaluations,
+            "untuned_gflops": result.untuned_gflops,
+            "best_gflops": result.best_gflops,
+            "modeled_tuning_time_s": result.modeled_tuning_time_s,
+            "cogent_gflops": kernel.candidates[0].simulated.gflops,
+            "curve": list(result.curve),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Summarise a saved observability payload (repro.obs.v1)."""
+    import json
+
+    from . import obs
+
+    try:
+        with open(args.file) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read {args.file}: {exc}", file=sys.stderr)
+        return 1
+    errors = obs.validate_payload(payload)
+    if errors:
+        print(f"{args.file}: INVALID ({len(errors)} error(s))")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    print(f"schema: {payload['schema']}")
+    meta = payload.get("meta") or {}
+    if meta:
+        pairs = ", ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+        print(f"meta:   {pairs}")
+    print()
+    print(obs.flamegraph_text(payload["trace"]))
+    registry = obs.MetricsRegistry.from_dict(payload["metrics"])
+    summary = registry.summary(args.prefix)
+    if summary:
+        print()
+        print(summary)
     return 0
 
 
@@ -376,8 +547,14 @@ def build_parser() -> argparse.ArgumentParser:
         "contractions (CGO 2019 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    common = _common_parent()
+    run_opts = _run_parent()
+    obs_opts = _obs_parent()
 
-    p_gen = sub.add_parser("gen", help="generate a kernel")
+    p_gen = sub.add_parser(
+        "gen", help="generate a kernel",
+        parents=[common, run_opts, obs_opts],
+    )
     p_gen.add_argument("expr", help="contraction expression or TCCG name")
     p_gen.add_argument("--sizes", help="extents, e.g. '24' or 'a=16,b=32'")
     p_gen.add_argument(
@@ -385,21 +562,17 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("cuda", "driver", "cemu", "opencl"),
     )
     p_gen.add_argument("--top-k", type=int, default=64)
-    p_gen.add_argument(
-        "--workers", type=int, default=1,
-        help="process-pool width for the configuration search",
-    )
     p_gen.add_argument("--no-split", action="store_true")
     p_gen.add_argument(
         "--metrics", action="store_true",
         help="print a profiler-style metric report to stderr",
     )
     p_gen.add_argument("-o", "--output")
-    _add_common(p_gen)
     p_gen.set_defaults(func=cmd_gen)
 
     p_verify = sub.add_parser(
-        "verify", help="validate a kernel against numpy.einsum"
+        "verify", help="validate a kernel against numpy.einsum",
+        parents=[common],
     )
     p_verify.add_argument("expr", help="expression or TCCG name")
     p_verify.add_argument("--sizes")
@@ -410,24 +583,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-extent", type=int, default=10,
         help="shrink extents for the numerical checks (default 10)",
     )
-    _add_common(p_verify)
     p_verify.set_defaults(func=cmd_verify)
 
     p_save = sub.add_parser(
-        "save", help="generate and persist a kernel package"
+        "save", help="generate and persist a kernel package",
+        parents=[common],
     )
     p_save.add_argument("expr", help="contraction expression or TCCG name")
     p_save.add_argument("directory", help="output directory")
     p_save.add_argument("--sizes")
     p_save.add_argument("--top-k", type=int, default=64)
-    _add_common(p_save)
     p_save.set_defaults(func=cmd_save)
 
-    p_rank = sub.add_parser("rank", help="rank configurations by cost")
+    p_rank = sub.add_parser(
+        "rank", help="rank configurations by cost",
+        parents=[common, run_opts],
+    )
     p_rank.add_argument("expr")
     p_rank.add_argument("--sizes")
     p_rank.add_argument("--top", type=int, default=10)
-    _add_common(p_rank)
     p_rank.set_defaults(func=cmd_rank)
 
     p_suite = sub.add_parser("suite", help="list TCCG benchmarks")
@@ -438,7 +612,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_suite.set_defaults(func=cmd_suite)
 
-    p_bench = sub.add_parser("bench", help="compare frameworks")
+    p_bench = sub.add_parser(
+        "bench", help="compare frameworks",
+        parents=[common, run_opts, obs_opts],
+    )
     p_bench.add_argument("--group", choices=("ml", "mo", "ccsd", "ccsd_t"))
     p_bench.add_argument(
         "--file", metavar="FILE",
@@ -450,23 +627,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma list: cogent,nwchem,talsh,tc,tc_untuned",
     )
     p_bench.add_argument("--csv", action="store_true")
-    p_bench.add_argument(
-        "--workers", type=int, default=1,
-        help="process-pool width across (benchmark, framework) cells",
-    )
-    p_bench.add_argument(
-        "--cache-dir", metavar="DIR",
-        help="persist framework evaluations; re-runs replay from disk",
-    )
-    p_bench.add_argument(
-        "--json", metavar="FILE",
-        help="also write rows, stage timings and cache counters as JSON",
-    )
-    _add_common(p_bench)
     p_bench.set_defaults(func=cmd_bench)
 
     p_batch = sub.add_parser(
-        "batch", help="batch-generate kernels with search statistics"
+        "batch", help="batch-generate kernels with search statistics",
+        parents=[common, run_opts, obs_opts],
     )
     p_batch.add_argument(
         "names", nargs="*",
@@ -479,55 +644,77 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_batch.add_argument("--limit", type=int, default=0)
     p_batch.add_argument(
-        "--workers", type=int, default=1,
-        help="process-pool width across contractions",
-    )
-    p_batch.add_argument(
         "--search-workers", type=int, default=1,
         help="process-pool width inside each configuration search "
         "(only useful with --workers 1)",
     )
     p_batch.add_argument("--top-k", type=int, default=64)
-    p_batch.add_argument(
-        "--json", metavar="FILE",
-        help="also write the batch results as JSON",
-    )
-    _add_common(p_batch)
     p_batch.set_defaults(func=cmd_batch)
 
+    # Report gets its own parent instance: set_defaults mutates the
+    # shared --arch action, and report defaults to covering both GPUs
+    # unless --arch narrows it down.
+    report_common = _common_parent()
+    report_common.set_defaults(arch=None)
     p_report = sub.add_parser(
-        "report", help="regenerate the experiment report (Figs. 4-8)"
+        "report", help="regenerate the experiment report (Figs. 4-8)",
+        parents=[report_common, run_opts],
     )
     p_report.add_argument(
         "--full", action="store_true",
         help="run the full 48-entry suite (minutes) instead of a sample",
     )
-    p_report.add_argument(
-        "--workers", type=int, default=1,
-        help="process-pool width across (benchmark, framework) cells",
-    )
-    p_report.add_argument(
-        "--cache-dir", metavar="DIR",
-        help="persist framework evaluations across report runs",
-    )
     p_report.add_argument("-o", "--output")
     p_report.set_defaults(func=cmd_report)
 
-    p_tune = sub.add_parser("tune", help="run the TC-style autotuner")
+    p_tune = sub.add_parser(
+        "tune", help="run the TC-style autotuner",
+        parents=[common, run_opts, obs_opts],
+    )
     p_tune.add_argument("expr")
     p_tune.add_argument("--sizes")
     p_tune.add_argument("--population", type=int, default=20)
     p_tune.add_argument("--generations", type=int, default=5)
     p_tune.add_argument("--seed", type=int, default=0)
-    _add_common(p_tune)
     p_tune.set_defaults(func=cmd_tune)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="validate and summarise a saved --metrics-out payload",
+    )
+    p_trace.add_argument("file", help="repro.obs.v1 JSON file")
+    p_trace.add_argument(
+        "--prefix", help="only show counters starting with this prefix"
+    )
+    p_trace.set_defaults(func=cmd_trace)
 
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    trace = getattr(args, "trace", False)
+    metrics_out = getattr(args, "metrics_out", None)
+    if not (trace or metrics_out):
+        return args.func(args)
+
+    from . import obs
+
+    with obs.tracing(meta={"command": args.command}) as session:
+        status = args.func(args)
+    if metrics_out:
+        import json
+
+        payload = session.payload()
+        with open(metrics_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {metrics_out}", file=sys.stderr)
+    if trace:
+        print(session.flamegraph(), file=sys.stderr)
+        summary = session.metrics.summary()
+        if summary:
+            print(summary, file=sys.stderr)
+    return status
 
 
 if __name__ == "__main__":

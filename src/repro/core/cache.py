@@ -77,11 +77,15 @@ class KernelCache:
 
     def lookup(self, contraction: Contraction) -> Optional[GeneratedKernel]:
         """Cached kernel for ``contraction``, or ``None`` (no generation)."""
+        from .. import obs
+
         kernel = self._memory.get(self._key(contraction))
         if kernel is not None:
             self.hits += 1
+            obs.inc("cache.kernel.hits")
         else:
             self.misses += 1
+            obs.inc("cache.kernel.misses")
         return kernel
 
     def put(

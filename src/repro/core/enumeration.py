@@ -25,8 +25,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from .. import obs
+from ..deprecation import _UNSET, warn_deprecated
 from ..gpu.arch import GpuArch
-from .constraints import ConstraintChecker, ConstraintPolicy
+from .constraints import ConstraintChecker, ConstraintPolicy, RuleStats
 from .costmodel import CostModel
 from .ir import Contraction, IndexKind
 from .mapping import KernelConfig, canonical_key, config_from_spec
@@ -265,6 +267,10 @@ class _ShardOutcome:
     fallback: List[Scored]
     stats: EnumerationStats
     search: SearchStats
+    #: Per-rule pruning behaviour measured by this shard's checker,
+    #: shipped back so the coordinator's metrics registry unifies
+    #: constraint stats across workers.
+    rules: Dict[str, RuleStats] = field(default_factory=dict)
 
 
 def _rotations(items: Sequence[str]) -> Iterable[Sequence[str]]:
@@ -506,6 +512,10 @@ class Enumerator:
         fallback = TopK(keep)
         memo_hits0 = cost_model.memo_hits
         memo_misses0 = cost_model.memo_misses
+        rules0 = {
+            name: (s.checks, s.rejections, s.time_s)
+            for name, s in self.checker.rule_stats.items()
+        }
         prune_s = 0.0
         rank_s = 0.0
 
@@ -564,23 +574,41 @@ class Enumerator:
         search.enumeration_s = max(total - prune_s - rank_s, 0.0)
         search.cost_memo_hits = cost_model.memo_hits - memo_hits0
         search.cost_memo_misses = cost_model.memo_misses - memo_misses0
-        return _ShardOutcome(top.items(), fallback.items(), stats, search)
+        rules = {
+            name: RuleStats(
+                checks=s.checks - rules0[name][0],
+                rejections=s.rejections - rules0[name][1],
+                time_s=s.time_s - rules0[name][2],
+            )
+            for name, s in self.checker.rule_stats.items()
+        }
+        return _ShardOutcome(
+            top.items(), fallback.items(), stats, search, rules
+        )
 
     def search(
         self,
         keep: int = 64,
-        workers: int = 1,
+        workers=_UNSET,
         cost_model: Optional[CostModel] = None,
+        *,
+        _workers: Optional[int] = None,
     ) -> EnumerationResult:
         """Streaming search: prune + rank, retaining only ``keep`` best.
 
-        With ``workers > 1`` the Cartesian product of partial families is
-        striped across a :class:`concurrent.futures.ProcessPoolExecutor`;
-        each worker returns a bounded top-k heap and the coordinator
-        merges them with :func:`heapq.nsmallest`, so survivors are never
-        globally materialised or sorted.  Falls back to the serial
-        in-process path when ``workers <= 1`` or the pool cannot be used
-        (sandboxed environments, unpicklable policies, ...).
+        With more than one worker the Cartesian product of partial
+        families is striped across a
+        :class:`concurrent.futures.ProcessPoolExecutor`; each worker
+        returns a bounded top-k heap and the coordinator merges them
+        with :func:`heapq.nsmallest`, so survivors are never globally
+        materialised or sorted.  Falls back to the serial in-process
+        path when only one worker is requested or the pool cannot be
+        used (sandboxed environments, unpicklable policies, ...).
+
+        .. deprecated::
+            the ``workers`` keyword; set pool width through
+            :class:`repro.api.Options` (``repro.api.compile``/``rank``)
+            instead.  Behaviour is unchanged when passed.
 
         Serial and parallel searches select the identical ranked heads:
         cost ties break on the canonical config key, and shard striping
@@ -588,42 +616,52 @@ class Enumerator:
         (Per-shard *duplicate* counters can differ, since deduplication
         is per worker.)
         """
-        start = time.perf_counter()
-        workers = max(1, int(workers))
-        outcomes: List[_ShardOutcome] = []
-        used_workers = 1
-        if workers > 1:
-            try:
-                outcomes = self._search_parallel(keep, workers)
-                used_workers = workers
-            except Exception:
-                outcomes = []
-        if not outcomes:
-            model = cost_model if cost_model is not None else CostModel(
-                self.dtype_bytes, self.arch.transaction_bytes
+        if workers is not _UNSET:
+            warn_deprecated(
+                "Enumerator.search(workers=...)",
+                "repro.api.Options(workers=...) with repro.api.compile",
             )
-            outcomes = [self._stream(model, keep)]
+            _workers = workers
+        start = time.perf_counter()
+        workers = max(1, int(_workers if _workers is not None else 1))
+        with obs.span("search"):
+            outcomes: List[_ShardOutcome] = []
             used_workers = 1
+            if workers > 1:
+                try:
+                    outcomes = self._search_parallel(keep, workers)
+                    used_workers = workers
+                except Exception:
+                    outcomes = []
+            if not outcomes:
+                model = cost_model if cost_model is not None else CostModel(
+                    self.dtype_bytes, self.arch.transaction_bytes
+                )
+                outcomes = [self._stream(model, keep)]
+                used_workers = 1
 
-        stats = EnumerationStats()
-        search_stats = SearchStats(workers=used_workers,
-                                   shards=len(outcomes))
-        for outcome in outcomes:
-            stats.raw_combinations += outcome.stats.raw_combinations
-            stats.hardware_pruned += outcome.stats.hardware_pruned
-            stats.performance_pruned += outcome.stats.performance_pruned
-            stats.duplicates += outcome.stats.duplicates
-            stats.accepted += outcome.stats.accepted
-            search_stats.add(outcome.search)
+            stats = EnumerationStats()
+            search_stats = SearchStats(workers=used_workers,
+                                       shards=len(outcomes))
+            for outcome in outcomes:
+                stats.raw_combinations += outcome.stats.raw_combinations
+                stats.hardware_pruned += outcome.stats.hardware_pruned
+                stats.performance_pruned += outcome.stats.performance_pruned
+                stats.duplicates += outcome.stats.duplicates
+                stats.accepted += outcome.stats.accepted
+                search_stats.add(outcome.search)
 
-        ranked = _merge_scored(
-            (o.top for o in outcomes), keep
-        )
-        rejects = _merge_scored(
-            (o.fallback for o in outcomes), keep
-        )
-        search_stats.kept = len(ranked)
-        search_stats.total_s = time.perf_counter() - start
+            ranked = _merge_scored(
+                (o.top for o in outcomes), keep
+            )
+            rejects = _merge_scored(
+                (o.fallback for o in outcomes), keep
+            )
+            search_stats.kept = len(ranked)
+            search_stats.total_s = time.perf_counter() - start
+            self._absorb_observability(
+                outcomes, stats, search_stats, used_workers
+            )
         return EnumerationResult(
             configs=[cfg for _, _, cfg in ranked],
             stats=stats,
@@ -632,6 +670,32 @@ class Enumerator:
             reject_costs=[cost for cost, _, _ in rejects],
             search_stats=search_stats,
         )
+
+    def _absorb_observability(
+        self,
+        outcomes: List[_ShardOutcome],
+        stats: EnumerationStats,
+        search_stats: SearchStats,
+        used_workers: int,
+    ) -> None:
+        """Record phase spans + unify counters in the active session.
+
+        Phase durations are summed *work* across shards; recording with
+        ``workers=used_workers`` normalises them back to latency so the
+        span tree's self-times stay within the elapsed search window —
+        and the tree structure is identical for any worker count.
+        """
+        session = obs.session()
+        if session is None:
+            return
+        obs.record("enumerate", search_stats.enumeration_s,
+                    workers=used_workers)
+        obs.record("prune", search_stats.pruning_s, workers=used_workers)
+        obs.record("rank", search_stats.ranking_s, workers=used_workers)
+        session.metrics.absorb_search_stats(search_stats)
+        session.metrics.absorb_enumeration_stats(stats)
+        for outcome in outcomes:
+            session.metrics.absorb_rule_stats(outcome.rules)
 
     def _search_parallel(
         self, keep: int, workers: int

@@ -21,6 +21,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from .. import obs
+from ..deprecation import _UNSET, warn_deprecated
 from ..gpu.arch import GpuArch, get_arch
 from ..gpu.simulator import GpuSimulator, ModelParams, SimulationResult
 from .codegen.cemu import generate_c_emulation
@@ -102,9 +104,11 @@ class GeneratedKernel:
     def cuda_source(self) -> str:
         """The generated CUDA kernel source (lazily emitted, cached)."""
         if self._cuda_source is None:
-            self._cuda_source = generate_cuda_kernel(
-                self.plan, self.kernel_name
-            )
+            with obs.span("emit"):
+                self._cuda_source = generate_cuda_kernel(
+                    self.plan, self.kernel_name
+                )
+            obs.inc("generate.kernels_emitted")
         return self._cuda_source
 
     def cuda_driver_source(self) -> str:
@@ -193,6 +197,8 @@ class Cogent:
         top-k heap.  ``workers=1`` (default) searches serially
         in-process; serial and parallel searches pick the identical best
         configuration (cost ties break on a canonical config key).
+        Passing this keyword is **deprecated**: set pool width through
+        :class:`repro.api.Options` instead (behaviour is unchanged).
     """
 
     def __init__(
@@ -208,8 +214,17 @@ class Cogent:
         allow_split: bool = True,
         split_factors: Sequence[int] = (4, 8, 16),
         allow_merge: bool = False,
-        workers: int = 1,
+        workers=_UNSET,
     ) -> None:
+        if workers is not _UNSET:
+            # Old call path, kept behaviourally identical: the blessed
+            # way to set pool width is repro.api.Options(workers=...).
+            warn_deprecated(
+                "Cogent(workers=...)",
+                "repro.api.Options(workers=...) with repro.api.compile",
+            )
+        else:
+            workers = 1
         self.arch = get_arch(arch) if isinstance(arch, str) else arch
         self.dtype_bytes = dtype_bytes
         self.top_k = max(1, top_k)
@@ -245,55 +260,60 @@ class Cogent:
         :class:`Contraction` (in which case ``sizes`` is ignored).
         """
         start = time.perf_counter()
-        if isinstance(contraction, str):
-            contraction = parse(contraction, sizes)
-        original = contraction
+        with obs.span("generate"):
+            if isinstance(contraction, str):
+                contraction = parse(contraction, sizes)
+            original = contraction
 
-        merge_specs: Tuple[MergeSpec, ...] = ()
-        if self.allow_merge:
-            contraction, merges = normalize(contraction)
-            merge_specs = tuple(merges)
-        merged_contraction = contraction
+            merge_specs: Tuple[MergeSpec, ...] = ()
+            if self.allow_merge:
+                contraction, merges = normalize(contraction)
+                merge_specs = tuple(merges)
+            merged_contraction = contraction
 
-        variants: List[Tuple[Contraction, Tuple[SplitSpec, ...]]] = [
-            (contraction, ())
-        ]
-        if self.allow_split:
-            variants += [
-                (split, (spec,))
-                for split, spec in candidate_splits(
-                    contraction, self.split_factors
-                )
+            variants: List[Tuple[Contraction, Tuple[SplitSpec, ...]]] = [
+                (contraction, ())
             ]
+            if self.allow_split:
+                variants += [
+                    (split, (spec,))
+                    for split, spec in candidate_splits(
+                        contraction, self.split_factors
+                    )
+                ]
 
-        best: Optional[GeneratedKernel] = None
-        for variant, specs in variants:
-            enumeration = self._search(variant)
-            candidates, mode = self._select(variant, enumeration)
-            plan = KernelPlan(variant, candidates[0].config, self.dtype_bytes)
-            if candidates[0].simulated is None:
-                candidates[0].simulated = self.simulator.simulate(plan)
-            kernel = GeneratedKernel(
-                contraction=variant,
-                plan=plan,
-                candidates=candidates,
-                enumeration=enumeration,
-                selection_mode=mode if not specs else mode + "+split",
-                generation_time_s=0.0,
-                kernel_name=kernel_name,
-                original_contraction=original,
-                split_specs=specs,
-                merge_specs=merge_specs,
-                merged_contraction=merged_contraction,
-            )
-            if (
-                best is None
-                or kernel.candidates[0].simulated.time_s
-                < best.candidates[0].simulated.time_s
-            ):
-                best = kernel
-        assert best is not None
-        best.generation_time_s = time.perf_counter() - start
+            best: Optional[GeneratedKernel] = None
+            for variant, specs in variants:
+                enumeration = self._search(variant)
+                candidates, mode = self._select(variant, enumeration)
+                plan = KernelPlan(
+                    variant, candidates[0].config, self.dtype_bytes
+                )
+                if candidates[0].simulated is None:
+                    candidates[0].simulated = self.simulator.simulate(plan)
+                kernel = GeneratedKernel(
+                    contraction=variant,
+                    plan=plan,
+                    candidates=candidates,
+                    enumeration=enumeration,
+                    selection_mode=mode if not specs else mode + "+split",
+                    generation_time_s=0.0,
+                    kernel_name=kernel_name,
+                    original_contraction=original,
+                    split_specs=specs,
+                    merge_specs=merge_specs,
+                    merged_contraction=merged_contraction,
+                )
+                if (
+                    best is None
+                    or kernel.candidates[0].simulated.time_s
+                    < best.candidates[0].simulated.time_s
+                ):
+                    best = kernel
+            assert best is not None
+            best.generation_time_s = time.perf_counter() - start
+            obs.inc("generate.contractions")
+            obs.observe("generate.time_s", best.generation_time_s)
         return best
 
     def generate_many(
@@ -360,20 +380,39 @@ class Cogent:
         workers: int,
         kernel_name: str,
     ) -> List[GeneratedKernel]:
-        """Generate each contraction, fanning out across processes."""
+        """Generate each contraction, fanning out across processes.
+
+        When an observability session is active, each worker records its
+        own span tree and metrics; the coordinator merges them back in
+        input order (deterministic — spans aggregate by name), with
+        worker wall times normalised to pool latency.
+        """
         if workers > 1 and len(contractions) > 1:
             worker_gen = copy.copy(self)
             worker_gen.workers = 1  # no nested pools inside pool workers
-            payloads = [(worker_gen, c, kernel_name) for c in contractions]
+            trace = obs.enabled()
+            payloads = [
+                (worker_gen, c, kernel_name, trace) for c in contractions
+            ]
             try:
                 from concurrent.futures import ProcessPoolExecutor
 
                 with ProcessPoolExecutor(
                     max_workers=min(workers, len(contractions))
                 ) as pool:
-                    return list(pool.map(_generate_job, payloads))
+                    outcomes = list(pool.map(_generate_job, payloads))
             except Exception:
                 pass  # pool unavailable: fall through to the serial loop
+            else:
+                session = obs.session()
+                for _, trace_payload, metrics_payload in outcomes:
+                    if session is None or trace_payload is None:
+                        continue
+                    session.tracer.absorb(trace_payload, workers=workers)
+                    session.metrics.merge(
+                        obs.MetricsRegistry.from_dict(metrics_payload)
+                    )
+                return [kernel for kernel, _, _ in outcomes]
         return [
             self.generate(c, kernel_name=kernel_name) for c in contractions
         ]
@@ -415,8 +454,8 @@ class Cogent:
         """Streaming prune+rank search, sharded across ``workers``."""
         return self._enumerator(contraction).search(
             keep=self.top_k,
-            workers=self.workers,
             cost_model=self.cost_model,
+            _workers=self.workers,
         )
 
     def _select(
@@ -449,10 +488,13 @@ class Cogent:
         # worker counts.
         head = candidates[: self.top_k]
         sim_start = time.perf_counter()
-        for cand in head:
-            plan = KernelPlan(contraction, cand.config, self.dtype_bytes)
-            cand.simulated = self.simulator.simulate(plan)
+        with obs.span("simulate"):
+            for cand in head:
+                plan = KernelPlan(contraction, cand.config, self.dtype_bytes)
+                cand.simulated = self.simulator.simulate(plan)
         sim_s = time.perf_counter() - sim_start
+        obs.inc("search.simulated", len(head))
+        obs.observe("search.simulation_s", sim_s)
         head = heapq.nsmallest(
             self.top_k, head,
             key=lambda cand: (
@@ -467,9 +509,17 @@ class Cogent:
         return head + candidates[self.top_k:], "model+microbench"
 
 
-def _generate_job(
-    payload: Tuple[Cogent, Contraction, str]
-) -> GeneratedKernel:
-    """Process-pool entry point for :meth:`Cogent.generate_many`."""
-    generator, contraction, kernel_name = payload
-    return generator.generate(contraction, kernel_name=kernel_name)
+def _generate_job(payload: Tuple[Cogent, Contraction, str, bool]):
+    """Process-pool entry point for :meth:`Cogent.generate_many`.
+
+    Returns ``(kernel, trace, metrics)``; the trace/metrics payloads are
+    ``None`` unless the coordinator had an observability session active.
+    """
+    generator, contraction, kernel_name, trace = payload
+    if not trace:
+        kernel = generator.generate(contraction, kernel_name=kernel_name)
+        return kernel, None, None
+    with obs.tracing(root_name="worker") as session:
+        kernel = generator.generate(contraction, kernel_name=kernel_name)
+    exported = session.payload()
+    return kernel, exported["trace"], exported["metrics"]

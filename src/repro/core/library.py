@@ -65,7 +65,7 @@ class KernelLibrary:
         self.indices = base.all_indices
         self.entries: List[LibraryEntry] = []
         for pos, sizes in enumerate(representative_sizes):
-            bound = resolve_sizes(self.indices, sizes)
+            bound = resolve_sizes(self.indices, sizes, strict=True)
             contraction = base.with_sizes(bound)
             kernel = self.generator.generate(
                 contraction, kernel_name=f"tc_kernel_v{pos}"
@@ -80,8 +80,13 @@ class KernelLibrary:
     # -- selection -------------------------------------------------------
 
     def select(self, actual_sizes: SizesArg) -> LibraryEntry:
-        """The entry whose representative size is closest to ``actual``."""
-        bound = resolve_sizes(self.indices, actual_sizes)
+        """The entry whose representative size is closest to ``actual``.
+
+        Size dicts naming indices this library's contraction does not
+        have raise :class:`~repro.core.ir.ContractionError` (they would
+        otherwise be silently ignored and mask typos).
+        """
+        bound = resolve_sizes(self.indices, actual_sizes, strict=True)
         return min(self.entries, key=lambda e: e.distance(bound))
 
     def sizes_from_operands(
@@ -209,7 +214,21 @@ class KernelLibrary:
 def clamp_config(
     config: KernelConfig, contraction: Contraction
 ) -> KernelConfig:
-    """Clamp tile sizes to the (possibly smaller) actual extents."""
+    """Clamp tile sizes to the (possibly smaller) actual extents.
+
+    Raises :class:`ValueError` when the config maps an index the
+    contraction does not have — a bare ``KeyError`` here (or a silently
+    unclamped tile) would obscure which mapping was at fault.
+    """
+    known = set(contraction.all_indices)
+    unknown = sorted(m.index for m in config.mappings if m.index not in known)
+    if unknown:
+        names = ", ".join(repr(i) for i in unknown)
+        raise ValueError(
+            f"config maps unknown index name(s) {names}; this "
+            f"contraction's indices are "
+            f"{', '.join(contraction.all_indices)}"
+        )
     mappings = tuple(
         IndexMapping(
             m.index, m.dim, min(m.tile, contraction.extent(m.index))

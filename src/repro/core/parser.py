@@ -41,12 +41,28 @@ def _split_index_list(text: str, expr: str) -> Tuple[str, ...]:
     return names
 
 
-def resolve_sizes(indices: Tuple[str, ...], sizes: SizesArg) -> Dict[str, int]:
-    """Build a per-index extent map from the flexible ``sizes`` argument."""
+def resolve_sizes(
+    indices: Tuple[str, ...], sizes: SizesArg, strict: bool = False
+) -> Dict[str, int]:
+    """Build a per-index extent map from the flexible ``sizes`` argument.
+
+    With ``strict=True`` a mapping naming an index that is not in
+    ``indices`` raises :class:`ContractionError` instead of being
+    silently dropped — the safety net for callers binding user-supplied
+    size dicts (e.g. :meth:`repro.core.library.KernelLibrary.select`).
+    """
     if sizes is None:
         sizes = 16
     if isinstance(sizes, int):
         return {idx: sizes for idx in indices}
+    if strict:
+        unknown = sorted(k for k in sizes if k != "*" and k not in indices)
+        if unknown:
+            names = ", ".join(repr(k) for k in unknown)
+            raise ContractionError(
+                f"unknown index name(s) {names} in sizes; "
+                f"this contraction's indices are {', '.join(indices)}"
+            )
     resolved = {}
     default = None
     for key, value in sizes.items():
@@ -129,12 +145,16 @@ def parse_einsum(expr: str, sizes: SizesArg = None) -> Contraction:
 
 def parse(expr: str, sizes: SizesArg = None) -> Contraction:
     """Parse a contraction in any supported syntax (auto-detected)."""
-    stripped = expr.strip()
-    if "[" in stripped:
-        return parse_einstein(stripped, sizes)
-    if "->" in stripped:
-        return parse_einsum(stripped, sizes)
-    return parse_compact(stripped, sizes)
+    from .. import obs
+
+    with obs.span("parse"):
+        obs.inc("parse.expressions")
+        stripped = expr.strip()
+        if "[" in stripped:
+            return parse_einstein(stripped, sizes)
+        if "->" in stripped:
+            return parse_einsum(stripped, sizes)
+        return parse_compact(stripped, sizes)
 
 
 def parse_size_spec(spec: Optional[str]) -> SizesArg:

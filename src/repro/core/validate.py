@@ -68,6 +68,8 @@ def validate_kernel(
     seed: int = 0,
 ) -> ValidationReport:
     """Run the selected checks; skips compiled checks without a CC."""
+    from .. import obs
+
     report = ValidationReport()
     contraction = kernel.original_contraction or kernel.contraction
     dtype = np.float64 if kernel.plan.dtype_bytes == 8 else np.float32
@@ -77,35 +79,39 @@ def validate_kernel(
     have_cc = shutil.which("cc") or shutil.which("gcc")
 
     for check in checks:
-        if check == "plan":
-            got = kernel.execute(a, b)
-            ok = np.allclose(got, want, **tol)
-            report.results.append(
-                CheckResult("plan", ok, "tiled numpy schedule")
-            )
-        elif check in ("cemu", "opencl"):
-            if not have_cc:
+        with obs.span(f"validate.{check}"):
+            if check == "plan":
+                got = kernel.execute(a, b)
+                ok = np.allclose(got, want, **tol)
                 report.results.append(
-                    CheckResult(check, True, "skipped: no C compiler")
+                    CheckResult("plan", ok, "tiled numpy schedule")
                 )
-                continue
-            got = _run_compiled(kernel, check, a, b)
-            ok = np.allclose(got, want, **tol)
-            backend = "sequential C" if check == "cemu" else \
-                "OpenCL via pthread harness"
-            report.results.append(CheckResult(check, ok, backend))
-        elif check == "trace":
-            measured = count_transactions(kernel.plan, exact="auto")
-            ok = measured.total > 0
-            report.results.append(
-                CheckResult(
-                    "trace", ok,
-                    f"{measured.total} transactions replayed",
+            elif check in ("cemu", "opencl"):
+                if not have_cc:
+                    report.results.append(
+                        CheckResult(check, True, "skipped: no C compiler")
+                    )
+                    continue
+                got = _run_compiled(kernel, check, a, b)
+                ok = np.allclose(got, want, **tol)
+                backend = "sequential C" if check == "cemu" else \
+                    "OpenCL via pthread harness"
+                report.results.append(CheckResult(check, ok, backend))
+            elif check == "trace":
+                measured = count_transactions(kernel.plan, exact="auto")
+                ok = measured.total > 0
+                report.results.append(
+                    CheckResult(
+                        "trace", ok,
+                        f"{measured.total} transactions replayed",
+                    )
                 )
-            )
-        else:
-            raise ValueError(f"unknown check {check!r}; "
-                             f"choose from {ALL_CHECKS}")
+            else:
+                raise ValueError(f"unknown check {check!r}; "
+                                 f"choose from {ALL_CHECKS}")
+            obs.inc(f"validate.{check}.checks")
+            if report.results and not report.results[-1].passed:
+                obs.inc(f"validate.{check}.failures")
     return report
 
 

@@ -1,0 +1,29 @@
+"""Deprecation machinery for the pre-``repro.api`` entry points.
+
+The PR-4 API redesign funnels the kwargs that used to be spread across
+``Cogent(workers=...)``, ``SuiteRunner.compare(workers=...)``,
+``SuiteRunner(cache_dir=...)`` and ``Enumerator.search(workers=...)``
+into one frozen :class:`repro.api.Options`.  The old call paths still
+work unchanged (same configs, same costs, byte-identical kernels) but
+emit a :class:`DeprecationWarning` pointing at the replacement.
+
+``_UNSET`` is the sentinel default that lets a keyword distinguish
+"caller passed a value" (deprecated) from "caller left the default".
+"""
+
+from __future__ import annotations
+
+import warnings
+
+#: Sentinel default for deprecated keyword arguments.
+_UNSET = object()
+
+
+def warn_deprecated(old: str, new: str, stacklevel: int = 3) -> None:
+    """Emit the standard deprecation message for an old call path."""
+    warnings.warn(
+        f"{old} is deprecated and will be removed in a future release; "
+        f"use {new} instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )

@@ -35,9 +35,9 @@ def _selection(quick: bool):
 def _fig45(out: io.StringIO, arch_name: str, figure: int,
            quick: bool, workers: int = 1,
            cache_dir: Optional[Union[str, Path]] = None) -> None:
-    runner = SuiteRunner(arch=arch_name, cache_dir=cache_dir)
+    runner = SuiteRunner(arch=arch_name, _cache_dir=cache_dir)
     frameworks = ("cogent", "nwchem", "talsh")
-    rows = runner.compare(_selection(quick), frameworks, workers=workers)
+    rows = runner.compare(_selection(quick), frameworks, _workers=workers)
     out.write(f"## Fig. {figure} — TCCG suite on {arch_name} "
               "(double precision)\n\n```\n")
     out.write(format_table(rows, frameworks))
@@ -63,10 +63,10 @@ def _fig67(out: io.StringIO, quick: bool, workers: int = 1,
         runner = SuiteRunner(
             arch=arch_name, dtype_bytes=4,
             tc_population=population, tc_generations=generations,
-            cache_dir=cache_dir,
+            _cache_dir=cache_dir,
         )
         frameworks = ("cogent", "tc", "tc_untuned")
-        rows = runner.compare(SD2_SUBSET, frameworks, workers=workers)
+        rows = runner.compare(SD2_SUBSET, frameworks, _workers=workers)
         out.write(f"## Fig. {figure} — COGENT vs Tensor Comprehensions "
                   f"on {arch_name} (SD2, single precision)\n\n```\n")
         out.write(format_table(rows, frameworks))
@@ -131,8 +131,25 @@ def generate_report(
     ``cache_dir`` persists their results so re-running the report is
     incremental (only changed cells are re-evaluated).
     """
+    from .. import obs
+
     out = io.StringIO()
     started = time.perf_counter()
+    with obs.span("report"):
+        _write_report(out, quick, archs, workers, cache_dir)
+    out.write(
+        f"_Report generated in {time.perf_counter() - started:.1f} s._\n"
+    )
+    return out.getvalue()
+
+
+def _write_report(
+    out: io.StringIO,
+    quick: bool,
+    archs: Sequence[str],
+    workers: int,
+    cache_dir: Optional[Union[str, Path]],
+) -> None:
     out.write("# COGENT reproduction — experiment report\n\n")
     mode = "quick sample" if quick else "full 48-entry suite"
     out.write(f"Mode: {mode}. All GPU numbers come from the "
@@ -142,7 +159,3 @@ def generate_report(
     _fig67(out, quick, workers, cache_dir)
     _fig8(out, quick)
     _pruning(out, quick)
-    out.write(
-        f"_Report generated in {time.perf_counter() - started:.1f} s._\n"
-    )
-    return out.getvalue()

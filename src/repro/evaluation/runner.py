@@ -25,11 +25,13 @@ from typing import (
     Dict, Iterable, List, Optional, Sequence, Tuple, Union,
 )
 
+from .. import obs
 from ..baselines.nwchem import NwchemGenerator
 from ..baselines.tc import TcAutotuner
 from ..core.cache import EvalCache, eval_cache_key
 from ..core.generator import Cogent
 from ..core.ir import Contraction
+from ..deprecation import _UNSET, warn_deprecated
 from ..gpu.arch import GpuArch, get_arch
 from ..gpu.simulator import GpuSimulator
 from ..tccg.suite import Benchmark
@@ -139,8 +141,16 @@ class SuiteRunner:
         tc_population: int = 20,
         tc_generations: int = 5,
         tc_seed: int = 0,
-        cache_dir: Optional[Union[str, Path]] = None,
+        cache_dir=_UNSET,
+        *,
+        _cache_dir: Optional[Union[str, Path]] = None,
     ) -> None:
+        if cache_dir is not _UNSET:
+            warn_deprecated(
+                "SuiteRunner(cache_dir=...)",
+                "repro.api.Options(cache_dir=...) with repro.api.evaluate",
+            )
+            _cache_dir = cache_dir
         self.arch = get_arch(arch) if isinstance(arch, str) else arch
         self.dtype_bytes = dtype_bytes
         self.cogent = Cogent(arch=self.arch, dtype_bytes=dtype_bytes)
@@ -154,7 +164,7 @@ class SuiteRunner:
             generations=tc_generations,
             seed=tc_seed,
         )
-        self.cache = EvalCache(cache_dir) if cache_dir else None
+        self.cache = EvalCache(_cache_dir) if _cache_dir else None
         self.last_stats: Optional[CompareStats] = None
         # Picklable constructor arguments, shipped to pool workers so
         # each process rebuilds an identical runner.
@@ -277,7 +287,8 @@ class SuiteRunner:
             raise KeyError(
                 f"unknown framework {framework!r}; choose from {FRAMEWORKS}"
             )
-        return runner(contraction, name)
+        with obs.span(f"eval.{framework}"):
+            return runner(contraction, name)
 
     # -- suite-level comparison -----------------------------------------------
 
@@ -297,7 +308,9 @@ class SuiteRunner:
         self,
         benchmarks: Sequence[Benchmark],
         frameworks: Sequence[str] = ("cogent", "nwchem", "talsh"),
-        workers: int = 1,
+        workers=_UNSET,
+        *,
+        _workers: int = 1,
     ) -> List[ComparisonRow]:
         """Evaluate every (benchmark, framework) cell.
 
@@ -305,7 +318,26 @@ class SuiteRunner:
         cache fan out over a process pool; results are merged back in
         grid order, so the returned rows are identical to a serial run.
         Counters and stage timings land in :attr:`last_stats`.
+
+        .. deprecated::
+            Passing ``workers`` here is deprecated; use
+            ``repro.api.Options(workers=...)`` with ``repro.api.evaluate``.
         """
+        if workers is not _UNSET:
+            warn_deprecated(
+                "SuiteRunner.compare(workers=...)",
+                "repro.api.Options(workers=...) with repro.api.evaluate",
+            )
+            _workers = workers
+        with obs.span("compare"):
+            return self._compare(benchmarks, frameworks, _workers)
+
+    def _compare(
+        self,
+        benchmarks: Sequence[Benchmark],
+        frameworks: Sequence[str],
+        workers: int,
+    ) -> List[ComparisonRow]:
         start = time.perf_counter()
         cells: List[Tuple[Benchmark, str]] = [
             (bench, framework)
@@ -367,6 +399,11 @@ class SuiteRunner:
             stats.simulate_s += result.simulate_time_s
         stats.total_s = time.perf_counter() - start
         self.last_stats = stats
+        session = obs.session()
+        if session is not None:
+            session.metrics.absorb_compare_stats(stats)
+            for result in results.values():
+                session.metrics.absorb_framework_result(result)
         return rows
 
     def _compare_parallel(
@@ -378,12 +415,27 @@ class SuiteRunner:
         """Fan the uncached cells out over a process pool."""
         from concurrent.futures import ProcessPoolExecutor
 
+        trace = obs.enabled()
         payloads = [
-            (self._init_params, cells[i][0], cells[i][1]) for i in pending
+            (self._init_params, cells[i][0], cells[i][1], trace)
+            for i in pending
         ]
         with ProcessPoolExecutor(max_workers=workers) as pool:
             outcomes = list(pool.map(_compare_cell, payloads))
-        return dict(zip(pending, outcomes))
+        session = obs.session()
+        fresh: Dict[int, FrameworkResult] = {}
+        for i, (result, trace_payload, metrics_payload) in zip(
+            pending, outcomes
+        ):
+            fresh[i] = result
+            if session is not None and trace_payload is not None:
+                # Latency-normalise: ``workers`` cells ran concurrently,
+                # so each worker tree contributes wall / workers.
+                session.tracer.absorb(trace_payload, workers=workers)
+                session.metrics.merge(
+                    obs.MetricsRegistry.from_dict(metrics_payload)
+                )
+        return fresh
 
 
 #: Per-process runner reuse for pool workers: building a SuiteRunner is
@@ -392,9 +444,15 @@ class SuiteRunner:
 _WORKER_RUNNERS: Dict[Tuple, "SuiteRunner"] = {}
 
 
-def _compare_cell(payload: Tuple) -> FrameworkResult:
-    """Process-pool entry point: evaluate one (benchmark, framework)."""
-    params, bench, framework = payload
+def _compare_cell(payload: Tuple) -> Tuple[FrameworkResult, Optional[Dict], Optional[Dict]]:
+    """Process-pool entry point: evaluate one (benchmark, framework).
+
+    Returns ``(result, trace, metrics)``; the trace/metrics payloads are
+    ``None`` unless the coordinator requested tracing, in which case the
+    worker runs its own observability session and ships the exported
+    tree back for a deterministic merge.
+    """
+    params, bench, framework, trace = payload
     runner = _WORKER_RUNNERS.get(params)
     if runner is None:
         arch, dtype_bytes, population, generations, seed = params
@@ -406,7 +464,12 @@ def _compare_cell(payload: Tuple) -> FrameworkResult:
             tc_seed=seed,
         )
         _WORKER_RUNNERS[params] = runner
-    return runner.run(framework, bench.contraction(), bench.name)
+    if not trace:
+        return runner.run(framework, bench.contraction(), bench.name), None, None
+    with obs.tracing(root_name="worker") as session:
+        result = runner.run(framework, bench.contraction(), bench.name)
+    exported = session.payload()
+    return result, exported["trace"], exported["metrics"]
 
 
 def speedup_summary(

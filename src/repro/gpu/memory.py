@@ -639,12 +639,20 @@ def count_transactions(
       :func:`sampled_is_exact`, otherwise typically an over-count.
     * ``"auto"`` — sampled when provably exact, full replay otherwise.
     """
+    from .. import obs
+
     if exact == "auto":
         exact = not sampled_is_exact(plan)
-    if exact is True:
-        return VectorizedReplay(plan).count()
-    if exact is not False:
+    if exact is not True and exact is not False:
         raise ValueError(
             f"exact must be True, False or 'auto', got {exact!r}"
         )
-    return _count_sampled(plan)
+    mode = "full" if exact else "sampled"
+    with obs.span("replay", mode=mode):
+        if exact:
+            measured = VectorizedReplay(plan).count()
+        else:
+            measured = _count_sampled(plan)
+    obs.inc(f"replay.{mode}")
+    obs.inc("replay.transactions", measured.total)
+    return measured

@@ -1,0 +1,193 @@
+"""Unified observability for the COGENT pipeline.
+
+One *session* bundles a hierarchical span :class:`~repro.obs.spans.Tracer`
+and a central :class:`~repro.obs.metrics.MetricsRegistry`.  The pipeline
+is instrumented with the module-level helpers below (:func:`span`,
+:func:`record`, :func:`inc`, ...), which are **near-zero-cost no-ops
+unless a session is active** — one module-global read per call, no
+allocation — so tracing off adds negligible overhead to the hot search
+paths (asserted by ``benchmarks/bench_obs_overhead.py``).
+
+Typical use::
+
+    from repro import obs
+
+    with obs.tracing(meta={"command": "bench"}) as session:
+        ...run the pipeline...
+    payload = session.payload()            # repro.obs.v1 JSON schema
+    print(session.flamegraph())            # per-stage self-time profile
+
+Sessions nest: the innermost active session receives the events, and
+process-pool workers open their own sessions whose exported trees merge
+back into the coordinator's via :meth:`Tracer.absorb` (deterministic:
+spans aggregate by name).  See ``docs/paper_mapping.md`` for the
+span-name ↔ paper-stage table.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+from .export import (
+    SCHEMA,
+    build_payload,
+    flamegraph_text,
+    validate_payload,
+    write_json,
+)
+from .metrics import Histogram, MetricsRegistry
+from .spans import Span, Tracer
+
+__all__ = [
+    "SCHEMA",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsSession",
+    "Span",
+    "Tracer",
+    "absorb",
+    "build_payload",
+    "enabled",
+    "flamegraph_text",
+    "gauge",
+    "inc",
+    "observe",
+    "record",
+    "session",
+    "span",
+    "tracing",
+    "validate_payload",
+    "write_json",
+]
+
+
+class ObsSession:
+    """One observability session: a span tracer plus a metrics registry."""
+
+    def __init__(
+        self, root_name: str = "run", meta: Optional[Dict] = None
+    ) -> None:
+        self.tracer = Tracer(root_name)
+        self.metrics = MetricsRegistry()
+        self.meta: Dict = dict(meta or {})
+
+    def close(self) -> None:
+        self.tracer.close()
+
+    # -- export ----------------------------------------------------------
+
+    def payload(self) -> Dict:
+        """The session as a ``repro.obs.v1`` JSON-serialisable payload."""
+        return build_payload(
+            self.tracer.as_dict(), self.metrics.as_dict(), self.meta
+        )
+
+    def write_json(self, path: Union[str, Path]) -> Dict:
+        payload = self.payload()
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True)
+        )
+        return payload
+
+    def flamegraph(self) -> str:
+        return flamegraph_text(self.tracer.as_dict())
+
+
+class _NullContext:
+    """Shared no-op context manager returned when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+#: The innermost active session, or ``None`` (tracing off).
+_ACTIVE: Optional[ObsSession] = None
+
+
+def session() -> Optional[ObsSession]:
+    """The active observability session, or ``None``."""
+    return _ACTIVE
+
+
+def enabled() -> bool:
+    """True when an observability session is active."""
+    return _ACTIVE is not None
+
+
+@contextmanager
+def tracing(
+    root_name: str = "run", meta: Optional[Dict] = None
+) -> Iterator[ObsSession]:
+    """Activate an observability session for the enclosed block.
+
+    Sessions nest; the previous session (if any) is restored on exit.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = sess = ObsSession(root_name, meta)
+    try:
+        yield sess
+    finally:
+        sess.close()
+        _ACTIVE = previous
+
+
+# -- instrumentation helpers (no-ops when tracing is off) ----------------
+
+def span(name: str, **meta):
+    """Context manager timing a pipeline stage (no-op when off)."""
+    sess = _ACTIVE
+    if sess is None:
+        return _NULL_CONTEXT
+    return sess.tracer.span(name, **meta)
+
+
+def record(
+    name: str,
+    wall_s: float,
+    cpu_s: float = 0.0,
+    count: int = 1,
+    workers: int = 1,
+    **meta,
+) -> None:
+    """Attach an externally measured stage duration (no-op when off)."""
+    sess = _ACTIVE
+    if sess is not None:
+        sess.tracer.record(
+            name, wall_s, cpu_s=cpu_s, count=count, workers=workers, **meta
+        )
+
+
+def absorb(payload: Dict, workers: int = 1) -> None:
+    """Merge a worker session's exported span tree (no-op when off)."""
+    sess = _ACTIVE
+    if sess is not None:
+        sess.tracer.absorb(payload, workers=workers)
+
+
+def inc(name: str, value: float = 1) -> None:
+    sess = _ACTIVE
+    if sess is not None:
+        sess.metrics.inc(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    sess = _ACTIVE
+    if sess is not None:
+        sess.metrics.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    sess = _ACTIVE
+    if sess is not None:
+        sess.metrics.observe(name, value)

@@ -1,0 +1,187 @@
+"""Exporters for observability sessions: JSON payloads and flamegraphs.
+
+The JSON schema (``repro.obs.v1``) is the single machine-readable
+surface unifying the span tree and the metrics registry::
+
+    {
+      "schema": "repro.obs.v1",
+      "meta":    {...free-form run description...},
+      "trace":   {span tree, see Span.as_dict},
+      "metrics": {"counters": {...}, "gauges": {...},
+                  "histograms": {...}}
+    }
+
+:func:`validate_payload` is a small dependency-free structural
+validator used by the CI smoke job (``tools/check_metrics_schema.py``)
+and ``cogent trace``; :func:`flamegraph_text` renders a span tree as an
+indented, bar-annotated profile the way a flamegraph reads top-down.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .spans import Span
+
+SCHEMA = "repro.obs.v1"
+
+#: Per-span required numeric fields in a trace payload.
+_SPAN_NUMBERS = ("wall_s", "cpu_s", "work_s", "self_s")
+#: Required histogram summary fields.
+_HIST_NUMBERS = ("count", "total", "min", "max", "mean")
+
+
+def build_payload(
+    trace: Dict, metrics: Dict, meta: Optional[Dict] = None
+) -> Dict:
+    """Assemble a schema-versioned observability payload."""
+    return {
+        "schema": SCHEMA,
+        "meta": dict(meta or {}),
+        "trace": trace,
+        "metrics": metrics,
+    }
+
+
+def write_json(
+    path: Union[str, Path],
+    trace: Dict,
+    metrics: Dict,
+    meta: Optional[Dict] = None,
+) -> Dict:
+    """Write a payload to ``path``; returns the payload."""
+    payload = build_payload(trace, metrics, meta)
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return payload
+
+
+def validate_payload(payload: Dict) -> List[str]:
+    """Structural schema check; returns a list of problems (empty = ok)."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"payload is {type(payload).__name__}, expected object"]
+    if payload.get("schema") != SCHEMA:
+        problems.append(
+            f"schema is {payload.get('schema')!r}, expected {SCHEMA!r}"
+        )
+    trace = payload.get("trace")
+    if not isinstance(trace, dict):
+        problems.append("missing or non-object 'trace'")
+    else:
+        _validate_span(trace, "trace", problems)
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, dict):
+        problems.append("missing or non-object 'metrics'")
+    else:
+        for family in ("counters", "gauges", "histograms"):
+            table = metrics.get(family)
+            if not isinstance(table, dict):
+                problems.append(f"metrics.{family} missing or non-object")
+                continue
+            for name, value in table.items():
+                if family == "histograms":
+                    if not isinstance(value, dict):
+                        problems.append(
+                            f"metrics.histograms[{name!r}] is not an object"
+                        )
+                        continue
+                    for key in _HIST_NUMBERS:
+                        if not isinstance(value.get(key), (int, float)):
+                            problems.append(
+                                f"metrics.histograms[{name!r}].{key} "
+                                "is not a number"
+                            )
+                elif not isinstance(value, (int, float)):
+                    problems.append(
+                        f"metrics.{family}[{name!r}] is not a number"
+                    )
+    return problems
+
+
+def _validate_span(node: Dict, where: str, problems: List[str]) -> None:
+    if not isinstance(node.get("name"), str) or not node.get("name"):
+        problems.append(f"{where}: span without a name")
+        return
+    here = f"{where}/{node['name']}"
+    for key in _SPAN_NUMBERS:
+        if not isinstance(node.get(key), (int, float)):
+            problems.append(f"{here}: {key} is not a number")
+    if not isinstance(node.get("count"), int):
+        problems.append(f"{here}: count is not an integer")
+    children = node.get("children", [])
+    if not isinstance(children, list):
+        problems.append(f"{here}: children is not a list")
+        return
+    names = [c.get("name") for c in children if isinstance(c, dict)]
+    if len(names) != len(set(names)):
+        problems.append(f"{here}: duplicate child span names {names}")
+    for child in children:
+        if not isinstance(child, dict):
+            problems.append(f"{here}: non-object child span")
+            continue
+        _validate_span(child, here, problems)
+
+
+def flamegraph_text(
+    trace: Union[Dict, Span], width: int = 30, min_frac: float = 0.0
+) -> str:
+    """Render a span tree as an indented self-time profile.
+
+    Each line shows the stage's wall time, its *self* time (wall not
+    covered by children) as a percentage of the root wall and a
+    proportional bar — the textual analogue of flamegraph box widths.
+    Stages recorded from parallel workers additionally show summed
+    worker ``work`` seconds.
+    """
+    root = trace if isinstance(trace, Span) else Span.from_dict(trace)
+    total = root.wall_s or 1e-12
+    name_width = max(
+        (2 * len(path) - 2 + len(span.name) for path, span in root.walk()),
+        default=10,
+    )
+    name_width = max(name_width, 10)
+    lines = [
+        f"{'span':<{name_width}} {'wall':>10} {'self':>10} "
+        f"{'self%':>6} {'calls':>7}"
+    ]
+
+    def emit(span: Span, depth: int) -> None:
+        frac = span.self_wall_s / total
+        if depth and span.wall_s / total < min_frac:
+            return
+        bar = "#" * max(0, round(frac * width))
+        label = "  " * depth + span.name
+        extra = ""
+        if span.work_s > span.wall_s * 1.001:
+            # Children of an absorbed worker tree carry scaled walls but
+            # no explicit meta — recover the width from the work ratio.
+            workers = span.meta.get(
+                "workers", round(span.work_s / span.wall_s)
+            )
+            extra = f"  [work {_fmt_s(span.work_s)} / {workers} workers]"
+        lines.append(
+            f"{label:<{name_width}} {_fmt_s(span.wall_s):>10} "
+            f"{_fmt_s(span.self_wall_s):>10} {frac * 100:>5.1f}% "
+            f"{span.count:>7} {bar}{extra}"
+        )
+        for name in sorted(span.children):
+            emit(span.children[name], depth + 1)
+
+    emit(root, 0)
+    covered = sum(
+        span.self_wall_s for _, span in root.walk()
+    )
+    lines.append(
+        f"{'':<{name_width}} total self-time {_fmt_s(covered)} "
+        f"of {_fmt_s(root.wall_s)} wall "
+        f"({covered / total * 100:.1f}%)"
+    )
+    return "\n".join(lines)
+
+
+def _fmt_s(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1e3:.1f}ms"

@@ -1,0 +1,273 @@
+"""Hierarchical span tracer for the code-generation pipeline.
+
+A :class:`Span` is one named stage of work (``"generate"``,
+``"search.prune"``, ...) with accumulated wall and CPU time, an
+invocation count, and named children.  Spans are *aggregated by name*
+under their parent: entering the same stage twice accumulates into one
+node instead of appending siblings, so the tree's **structure** is a
+deterministic function of the code paths taken — independent of how
+many times a stage ran, of process-pool worker counts, and of
+completion order.  That is the keystone of the ``workers=1`` vs
+``workers=N`` determinism guarantee (see ``tests/test_obs.py``).
+
+Two recording modes:
+
+* :meth:`Tracer.span` — a context manager timing a live block of code
+  on the coordinator process;
+* :meth:`Tracer.record` — attach a stage whose duration was measured
+  elsewhere (a pool worker's phase timer, a ``SearchStats`` field, a
+  ``FrameworkResult`` stage timing).  Parallel work is recorded with
+  ``workers=N`` so the span stores latency (``wall_s`` = work / N)
+  while keeping the measured work in ``work_s``; the invariant that a
+  parent's children sum to at most its wall time then survives
+  process-pool fan-out.
+
+Worker span trees serialised with :meth:`Span.as_dict` merge back into
+the coordinator's tree via :meth:`Tracer.absorb` (same name => same
+node, children recursively), deterministically because merging is
+commutative addition keyed by name.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class Span:
+    """One named pipeline stage: timings, counters, named children."""
+
+    __slots__ = ("name", "wall_s", "cpu_s", "work_s", "count",
+                 "children", "meta")
+
+    def __init__(self, name: str, meta: Optional[Dict] = None) -> None:
+        self.name = name
+        #: Accumulated elapsed (latency) seconds.
+        self.wall_s = 0.0
+        #: Accumulated process CPU seconds (coordinator-side only).
+        self.cpu_s = 0.0
+        #: Accumulated *work* seconds — equals ``wall_s`` for serial
+        #: stages, exceeds it for stages recorded from parallel workers.
+        self.work_s = 0.0
+        #: Times this stage was entered/recorded.
+        self.count = 0
+        self.children: Dict[str, "Span"] = {}
+        self.meta: Dict = dict(meta or {})
+
+    # -- structure -------------------------------------------------------
+
+    def child(self, name: str) -> "Span":
+        """The child span called ``name``, created on first use."""
+        node = self.children.get(name)
+        if node is None:
+            node = Span(name)
+            self.children[name] = node
+        return node
+
+    def walk(
+        self, path: Tuple[str, ...] = ()
+    ) -> Iterator[Tuple[Tuple[str, ...], "Span"]]:
+        """Yield ``(path, span)`` depth-first, children in name order."""
+        here = path + (self.name,)
+        yield here, self
+        for name in sorted(self.children):
+            yield from self.children[name].walk(here)
+
+    def paths(self) -> List[str]:
+        """All span paths as ``"a/b/c"`` strings (deterministic order)."""
+        return ["/".join(path) for path, _ in self.walk()]
+
+    # -- derived times ---------------------------------------------------
+
+    @property
+    def children_wall_s(self) -> float:
+        return sum(c.wall_s for c in self.children.values())
+
+    @property
+    def self_wall_s(self) -> float:
+        """Wall time not attributed to any child stage (>= 0)."""
+        return max(0.0, self.wall_s - self.children_wall_s)
+
+    # -- serialisation ---------------------------------------------------
+
+    def as_dict(self) -> Dict:
+        payload: Dict = {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+            "work_s": self.work_s,
+            "self_s": self.self_wall_s,
+            "count": self.count,
+        }
+        if self.meta:
+            payload["meta"] = dict(self.meta)
+        if self.children:
+            payload["children"] = [
+                self.children[name].as_dict()
+                for name in sorted(self.children)
+            ]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "Span":
+        span = cls(str(payload["name"]), payload.get("meta"))
+        span.wall_s = float(payload.get("wall_s", 0.0))
+        span.cpu_s = float(payload.get("cpu_s", 0.0))
+        span.work_s = float(payload.get("work_s", span.wall_s))
+        span.count = int(payload.get("count", 1))
+        for child in payload.get("children", ()):
+            node = cls.from_dict(child)
+            span.children[node.name] = node
+        return span
+
+    def merge(self, other: "Span") -> None:
+        """Accumulate ``other`` (same stage name) into this span."""
+        if other.name != self.name:
+            raise ValueError(
+                f"cannot merge span {other.name!r} into {self.name!r}"
+            )
+        self.wall_s += other.wall_s
+        self.cpu_s += other.cpu_s
+        self.work_s += other.work_s
+        self.count += other.count
+        self.meta.update(other.meta)
+        for name, child in other.children.items():
+            mine = self.children.get(name)
+            if mine is None:
+                self.children[name] = child
+            else:
+                mine.merge(child)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Span({self.name!r}, wall={self.wall_s:.4f}s, "
+            f"count={self.count}, children={len(self.children)})"
+        )
+
+
+def _scale_walls(span: Span, factor: float) -> None:
+    """Scale latency recursively, leaving measured ``work_s`` intact."""
+    span.wall_s *= factor
+    for child in span.children.values():
+        _scale_walls(child, factor)
+
+
+class Tracer:
+    """Builds one span tree per observability session.
+
+    The tracer keeps a stack of open spans; :meth:`span` opens a child
+    of the innermost open span.  A single root span covers the whole
+    session, so per-stage self-times over the tree telescope to the
+    root's wall time (parallel stages are normalised to latency at
+    record time, see :meth:`record`).
+    """
+
+    def __init__(self, root_name: str = "run") -> None:
+        self.root = Span(root_name)
+        self.root.count = 1
+        self._stack: List[Span] = [self.root]
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        self._closed = False
+
+    # -- recording -------------------------------------------------------
+
+    @property
+    def current(self) -> Span:
+        return self._stack[-1]
+
+    @contextmanager
+    def span(self, name: str, **meta) -> Iterator[Span]:
+        """Time a live block of code as child stage ``name``."""
+        node = self._stack[-1].child(name)
+        node.count += 1
+        if meta:
+            node.meta.update(meta)
+        self._stack.append(node)
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        try:
+            yield node
+        finally:
+            elapsed = time.perf_counter() - wall0
+            node.wall_s += elapsed
+            node.work_s += elapsed
+            node.cpu_s += time.process_time() - cpu0
+            self._stack.pop()
+
+    def record(
+        self,
+        name: str,
+        wall_s: float,
+        cpu_s: float = 0.0,
+        count: int = 1,
+        workers: int = 1,
+        **meta,
+    ) -> Span:
+        """Attach a stage measured elsewhere under the current span.
+
+        ``wall_s`` is interpreted as *work* seconds; with ``workers > 1``
+        (a process-pool stage where per-worker timers sum across the
+        pool) the span's latency contribution is ``wall_s / workers``,
+        keeping nested spans within their parent's elapsed window.
+        """
+        workers = max(1, int(workers))
+        node = self._stack[-1].child(name)
+        node.count += count
+        node.work_s += wall_s
+        node.wall_s += wall_s / workers
+        node.cpu_s += cpu_s
+        if workers > 1:
+            node.meta["workers"] = max(
+                workers, int(node.meta.get("workers", 0))
+            )
+        if meta:
+            node.meta.update(meta)
+        return node
+
+    def absorb(
+        self, payload: Dict, skip_root: bool = True, workers: int = 1
+    ) -> None:
+        """Merge a serialised span tree under the current span.
+
+        ``payload`` is a :meth:`Span.as_dict` export — typically shipped
+        back from a process-pool worker.  With ``skip_root`` (default)
+        the payload's root node is discarded and its children merge
+        directly under the current span, so worker session roots don't
+        introduce an extra level.  ``workers`` normalises the absorbed
+        wall times to latency (divide by pool width) the same way
+        :meth:`record` does — the measured durations stay available as
+        ``work_s``.
+        """
+        workers = max(1, int(workers))
+        tree = Span.from_dict(payload)
+        if workers > 1:
+            _scale_walls(tree, 1.0 / workers)
+        target = self._stack[-1]
+        children = tree.children.values() if skip_root else (tree,)
+        for child in children:
+            if workers > 1:
+                child.meta["workers"] = max(
+                    workers, int(child.meta.get("workers", 0))
+                )
+            mine = target.child(child.name)
+            mine.merge(child)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Stamp the root span with the session's elapsed time."""
+        if not self._closed:
+            self.root.wall_s = time.perf_counter() - self._wall0
+            self.root.work_s = self.root.wall_s
+            self.root.cpu_s = time.process_time() - self._cpu0
+            self._closed = True
+
+    def as_dict(self) -> Dict:
+        if not self._closed:
+            # Snapshot semantics: report elapsed-so-far without closing.
+            self.root.wall_s = time.perf_counter() - self._wall0
+            self.root.work_s = self.root.wall_s
+            self.root.cpu_s = time.process_time() - self._cpu0
+        return self.root.as_dict()

@@ -137,6 +137,13 @@ class TtgtPipeline:
 
     def plan(self, contraction: Contraction) -> TtgtPlan:
         """Pick the cheapest matricisation among candidate orderings."""
+        from .. import obs
+
+        with obs.span("ttgt.plan"):
+            obs.inc("ttgt.plans")
+            return self._plan(contraction)
+
+    def _plan(self, contraction: Contraction) -> TtgtPlan:
         ext_a = contraction.externals_of(contraction.a)
         ext_b = contraction.externals_of(contraction.b)
         ints = contraction.internal_indices

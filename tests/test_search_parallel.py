@@ -114,8 +114,8 @@ class TestStreamingSearch:
         }
 
     def test_parallel_equals_serial(self, eq1, v100):
-        serial = Enumerator(eq1, v100).search(keep=24, workers=1)
-        parallel = Enumerator(eq1, v100).search(keep=24, workers=3)
+        serial = Enumerator(eq1, v100).search(keep=24, _workers=1)
+        parallel = Enumerator(eq1, v100).search(keep=24, _workers=3)
         assert parallel.search_stats.workers in (1, 3)  # 1 = fallback
         assert [c.describe() for c in serial.configs] == \
             [c.describe() for c in parallel.configs]
@@ -130,7 +130,7 @@ class TestStreamingSearch:
             raise OSError("no process pool in this sandbox")
 
         monkeypatch.setattr(Enumerator, "_search_parallel", boom)
-        result = Enumerator(eq1, v100).search(keep=8, workers=4)
+        result = Enumerator(eq1, v100).search(keep=8, _workers=4)
         assert result.search_stats.workers == 1
         assert result.configs
 
@@ -151,8 +151,10 @@ class TestDeterminismGuard:
     @pytest.mark.parametrize("name", DETERMINISM_SUITE)
     def test_workers_agree_on_best_config(self, name):
         contraction = get(name).contraction()
-        serial = Cogent(arch="V100", workers=1).generate(contraction)
-        parallel = Cogent(arch="V100", workers=2).generate(contraction)
+        serial = Cogent(arch="V100").generate(contraction)
+        parallel_gen = Cogent(arch="V100")
+        parallel_gen.workers = 2
+        parallel = parallel_gen.generate(contraction)
         assert serial.config.describe() == parallel.config.describe()
         assert serial.cost == parallel.cost
         assert serial.selection_mode == parallel.selection_mode

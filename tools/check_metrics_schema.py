@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Validate a ``--metrics-out`` payload against the repro.obs.v1 schema.
+
+Usage::
+
+    python tools/check_metrics_schema.py metrics.json [more.json ...]
+
+Exits non-zero (listing every violation) if any file fails validation.
+Used by CI to guarantee the observability export stays schema-stable.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def check(path: str) -> int:
+    from repro import obs
+
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"{path}: cannot read ({exc})")
+        return 1
+    errors = obs.validate_payload(payload)
+    if errors:
+        print(f"{path}: INVALID ({len(errors)} error(s))")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    spans = sum(1 for _ in _walk(payload["trace"]))
+    counters = len(payload["metrics"]["counters"])
+    print(f"{path}: OK ({spans} spans, {counters} counters, "
+          f"schema {payload['schema']})")
+    return 0
+
+
+def _walk(span):
+    yield span
+    for child in span.get("children", ()):
+        yield from _walk(child)
+
+
+def main(argv) -> int:
+    if not argv:
+        print(__doc__.strip())
+        return 2
+    return max(check(path) for path in argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
