@@ -2,10 +2,15 @@
 
 Reproduces the enumeration-pruning statistics across the TCCG suite:
 raw enumerated combinations, hardware-pruned, performance-pruned, and
-the surviving fraction, per benchmark group and overall.
+the surviving fraction, per benchmark group and overall — plus the
+per-rule pruned counts as reported by both search engines (the
+vectorized columnar path and the per-plan object oracle) on the
+paper's Eq. 1.
 """
 
-from repro.core.enumeration import Enumerator, paper_search_space
+from repro.core.constraints import HARDWARE_RULES, PERFORMANCE_RULES
+from repro.core.enumeration import ENGINES, Enumerator, paper_search_space
+from repro.core.parser import parse
 from repro.gpu.arch import VOLTA_V100
 
 
@@ -41,3 +46,44 @@ def test_pruning_statistics(benchmark, selection):
     assert overall > 0.90
     for _bench, stats, _space in rows:
         assert stats.accepted > 0
+
+
+def run_rule_pruning_eq1():
+    """Per-rule pruned counts from both engines on the paper's Eq. 1."""
+    eq1 = parse("abcd-aebf-dfce", 24)
+    outcomes = {}
+    for engine in ENGINES:
+        enumerator = Enumerator(eq1, VOLTA_V100, engine=engine)
+        result = enumerator.search(keep=1)
+        outcomes[engine] = (result, enumerator.checker.rule_stats)
+    return eq1, outcomes
+
+
+def test_rule_pruning_both_engines(benchmark):
+    eq1, outcomes = benchmark.pedantic(
+        run_rule_pruning_eq1, rounds=1, iterations=1
+    )
+    print()
+    print("Eq. 1 per-rule pruned counts, columnar vs object engine")
+    print(f"{'rule':<22} {'col rej':>9} {'obj rej':>9} "
+          f"{'col chk':>9} {'obj chk':>9}")
+    col_stats = outcomes["columnar"][1]
+    obj_stats = outcomes["object"][1]
+    for rule in HARDWARE_RULES + PERFORMANCE_RULES:
+        print(f"{rule:<22} {col_stats[rule].rejections:>9} "
+              f"{obj_stats[rule].rejections:>9} "
+              f"{col_stats[rule].checks:>9} {obj_stats[rule].checks:>9}")
+    space = paper_search_space(eq1)
+    for engine in ENGINES:
+        result, rule_stats = outcomes[engine]
+        stats = result.stats
+        # every pruned row is charged to exactly one rule
+        total = sum(s.rejections for s in rule_stats.values())
+        assert total == stats.hardware_pruned + stats.performance_pruned
+        pruned = 1 - stats.accepted / space
+        print(f"{engine:>8}: {stats.accepted} survivors of a "
+              f"{space}-point naive space -> {pruned * 100:.2f}% pruned")
+        # Section IV-A: "around 97% of the configurations were pruned"
+        assert pruned > 0.95
+    # both engines agree on the family totals
+    assert outcomes["columnar"][0].stats == outcomes["object"][0].stats

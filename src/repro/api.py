@@ -39,6 +39,7 @@ from typing import (
 
 from . import obs
 from .core.cache import KernelCache
+from .core.enumeration import ENGINES
 from .core.generator import Cogent, GeneratedKernel
 from .core.ir import Contraction
 from .core.mapping import KernelConfig
@@ -85,6 +86,10 @@ class Options:
     trace:
         Run each API call inside an observability session; fetch the
         exported payload afterwards with :func:`last_trace`.
+    engine:
+        Configuration-search engine: ``"columnar"`` (default, batch
+        vectorized) or ``"object"`` (per-plan oracle path).  Both
+        return bit-identical rankings.
     """
 
     workers: int = 1
@@ -93,6 +98,7 @@ class Options:
     arch: str = "V100"
     dtype: str = "double"
     trace: bool = False
+    engine: str = "columnar"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -107,6 +113,11 @@ class Options:
         if self.arch not in ARCHS:
             raise ValueError(
                 f"arch must be one of {sorted(ARCHS)}, got {self.arch!r}"
+            )
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"engine must be one of {sorted(ENGINES)}, "
+                f"got {self.engine!r}"
             )
 
     @property
@@ -152,6 +163,7 @@ def _generator(options: Options) -> Cogent:
         arch=options.arch,
         dtype_bytes=options.dtype_bytes,
         top_k=options.top_k,
+        engine=options.engine,
     )
     # Attribute assignment, not the constructor keyword: the keyword is
     # the deprecated spelling this facade replaces.

@@ -49,6 +49,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .core.enumeration import ENGINES
 from .core.generator import Cogent
 from .core.parser import parse, parse_size_spec
 from .core.plan import KernelPlan
@@ -96,6 +97,17 @@ def _run_parent() -> argparse.ArgumentParser:
     return p
 
 
+def _engine_parent() -> argparse.ArgumentParser:
+    """Shared ``--engine`` flag (configuration-search implementation)."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument(
+        "--engine", default="columnar", choices=sorted(ENGINES),
+        help="search engine: vectorized 'columnar' batches (default) or "
+        "the per-plan 'object' oracle path; results are bit-identical",
+    )
+    return p
+
+
 def _obs_parent() -> argparse.ArgumentParser:
     """Shared observability flags (``--trace``/``--metrics-out``)."""
     p = argparse.ArgumentParser(add_help=False)
@@ -129,7 +141,8 @@ def _resolve_contraction(args: argparse.Namespace):
 def _make_generator(args: argparse.Namespace, **extra) -> Cogent:
     """Build a Cogent from normalized CLI flags (no deprecated kwargs)."""
     cogent = Cogent(
-        arch=args.arch, dtype_bytes=_dtype_bytes(args), **extra
+        arch=args.arch, dtype_bytes=_dtype_bytes(args),
+        engine=getattr(args, "engine", "columnar"), **extra
     )
     cogent.workers = max(1, getattr(args, "workers", 1))
     return cogent
@@ -228,6 +241,40 @@ def cmd_save(args: argparse.Namespace) -> int:
     return 0
 
 
+def _rule_pruning_by_engine(cogent: Cogent, contraction) -> dict:
+    """Per-rule pruned counts from both search engines.
+
+    Runs the identical streaming search once per engine and reads the
+    checker's accumulated :class:`RuleStats`.  Totals always agree; a
+    row with multiple violations may be charged to different rules
+    (the object path reorders rules adaptively, the columnar path
+    evaluates them in canonical order).
+    """
+    from .core.enumeration import Enumerator
+
+    table: dict = {}
+    for engine in ENGINES:
+        enumerator = Enumerator(
+            contraction,
+            cogent.arch,
+            cogent.dtype_bytes,
+            tb_sizes=cogent.tb_sizes,
+            reg_sizes=cogent.reg_sizes,
+            tbk_sizes=cogent.tbk_sizes,
+            policy=cogent.policy,
+            engine=engine,
+        )
+        enumerator.search(keep=1)
+        table[engine] = {
+            name: {
+                "checks": stats.checks,
+                "rejections": stats.rejections,
+            }
+            for name, stats in enumerator.checker.rule_stats.items()
+        }
+    return table
+
+
 def cmd_rank(args: argparse.Namespace) -> int:
     """Print the top cost-model-ranked configurations."""
     contraction = _resolve_contraction(args)
@@ -246,6 +293,19 @@ def cmd_rank(args: argparse.Namespace) -> int:
             "gflops": sim.gflops,
             "config": config.describe(),
         })
+    pruning = _rule_pruning_by_engine(cogent, contraction)
+    print("\nper-rule pruned counts (columnar | object):")
+    rules = sorted(
+        set(pruning["columnar"]) | set(pruning["object"])
+    )
+    print(f"{'rule':<22} {'col rej':>9} {'obj rej':>9} "
+          f"{'col chk':>9} {'obj chk':>9}")
+    for rule in rules:
+        col = pruning["columnar"].get(rule, {})
+        obj = pruning["object"].get(rule, {})
+        print(f"{rule:<22} {col.get('rejections', 0):>9} "
+              f"{obj.get('rejections', 0):>9} "
+              f"{col.get('checks', 0):>9} {obj.get('checks', 0):>9}")
     if args.json:
         import json
 
@@ -253,7 +313,9 @@ def cmd_rank(args: argparse.Namespace) -> int:
             "arch": args.arch,
             "dtype": args.dtype,
             "expr": args.expr,
+            "engine": getattr(args, "engine", "columnar"),
             "pruned_total": len(ranked),
+            "rule_pruning": pruning,
             "top": rows,
         }
         with open(args.json, "w") as handle:
@@ -359,6 +421,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         arch=args.arch,
         dtype_bytes=_dtype_bytes(args),
         top_k=args.top_k,
+        engine=getattr(args, "engine", "columnar"),
     )
     cogent.workers = max(1, args.search_workers)
     cache = KernelCache(cogent, directory=args.cache_dir)
@@ -550,10 +613,11 @@ def build_parser() -> argparse.ArgumentParser:
     common = _common_parent()
     run_opts = _run_parent()
     obs_opts = _obs_parent()
+    engine_opts = _engine_parent()
 
     p_gen = sub.add_parser(
         "gen", help="generate a kernel",
-        parents=[common, run_opts, obs_opts],
+        parents=[common, run_opts, obs_opts, engine_opts],
     )
     p_gen.add_argument("expr", help="contraction expression or TCCG name")
     p_gen.add_argument("--sizes", help="extents, e.g. '24' or 'a=16,b=32'")
@@ -597,7 +661,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_rank = sub.add_parser(
         "rank", help="rank configurations by cost",
-        parents=[common, run_opts],
+        parents=[common, run_opts, engine_opts],
     )
     p_rank.add_argument("expr")
     p_rank.add_argument("--sizes")
@@ -631,7 +695,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_batch = sub.add_parser(
         "batch", help="batch-generate kernels with search statistics",
-        parents=[common, run_opts, obs_opts],
+        parents=[common, run_opts, obs_opts, engine_opts],
     )
     p_batch.add_argument(
         "names", nargs="*",
@@ -669,7 +733,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_tune = sub.add_parser(
         "tune", help="run the TC-style autotuner",
-        parents=[common, run_opts, obs_opts],
+        parents=[common, run_opts, obs_opts, engine_opts],
     )
     p_tune.add_argument("expr")
     p_tune.add_argument("--sizes")

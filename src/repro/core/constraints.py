@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..gpu.arch import GpuArch
 from ..gpu.occupancy import compute_occupancy
@@ -75,7 +75,15 @@ class RuleStats:
 
     @property
     def efficiency(self) -> float:
-        """Rejections per second of checking — the ordering criterion."""
+        """Rejections per second of checking — the ordering criterion.
+
+        A rule with zero recorded checks ranks neutrally at 0.0: the
+        columnar engine's batched predicates can leave object-path rule
+        counters untouched, and division by a zero check count or zero
+        time must not blow up the adaptive reorder.
+        """
+        if self.checks == 0:
+            return 0.0
         if self.time_s <= 0.0:
             return self.selectivity / 1e-9
         return self.rejections / self.time_s
@@ -177,6 +185,24 @@ class ConstraintChecker:
     def rule_order(self) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
         """Current adaptive (hardware, performance) rule orders."""
         return self._hw_order, self._perf_order
+
+    def absorb_batch_counts(
+        self, counts: Mapping[str, Tuple[int, int, float]]
+    ) -> None:
+        """Fold vectorized per-rule counts into :attr:`rule_stats`.
+
+        The columnar engine evaluates each rule as one batched predicate
+        over whole position batches; ``counts`` maps rule name to
+        ``(rows reaching the rule, rows newly rejected, predicate
+        seconds)``, keeping :class:`RuleStats` semantics aligned with
+        the object path's short-circuit counters (each pruned row is
+        charged to exactly one rule).
+        """
+        for name, (checks, rejections, time_s) in counts.items():
+            stats = self.rule_stats[name]
+            stats.checks += checks
+            stats.rejections += rejections
+            stats.time_s += time_s
 
     # -- adaptive machinery ----------------------------------------------
 

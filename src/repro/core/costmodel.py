@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from .ir import Contraction, TensorRef
 from .mapping import KernelConfig, canonical_key
 from .plan import Axis, KernelPlan, ceil_div
@@ -93,6 +95,26 @@ def row_transactions(
     n_segments = ceil_div(row_elements, seg)
     per_segment = ceil_div(seg * dtype_bytes, transaction_bytes)
     return n_segments * per_segment
+
+
+def row_transaction_columns(
+    row_elements, run, dtype_bytes: int,
+    transaction_bytes: int = TRANSACTION_BYTES,
+):
+    """Vectorized :func:`row_transactions` over integer arrays.
+
+    ``row_elements`` and ``run`` broadcast against each other (the
+    columnar engine passes a ``(n_side, 1)`` row-width column against an
+    ``(n_side, n_k)`` run table).  The arithmetic is the scalar
+    formula's, element-wise in int64, so each cell equals
+    ``row_transactions(row, run, ...)`` exactly.
+    """
+    row = np.asarray(row_elements, dtype=np.int64)
+    run = np.asarray(run, dtype=np.int64)
+    seg = np.maximum(1, np.minimum(run, row))
+    n_segments = -(-row // seg)
+    per_segment = -(-(seg * dtype_bytes) // transaction_bytes)
+    return np.where(row > 0, n_segments * per_segment, 0)
 
 
 def row_transactions_paper(row_elements: int, run: int) -> int:

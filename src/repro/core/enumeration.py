@@ -25,9 +25,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from .. import obs
 from ..deprecation import _UNSET, warn_deprecated
 from ..gpu.arch import GpuArch
+from .columnar import DEFAULT_BATCH_SIZE, ColumnarSpace
 from .constraints import ConstraintChecker, ConstraintPolicy, RuleStats
 from .costmodel import CostModel
 from .ir import Contraction, IndexKind
@@ -37,6 +40,12 @@ from .plan import KernelPlan
 Entry = Tuple[str, int]  # (index name, tile size)
 #: A scored survivor: (model cost, canonical key, configuration).
 Scored = Tuple[int, str, KernelConfig]
+
+#: Search-engine implementations selectable per Enumerator or per call.
+#: ``"columnar"`` (default) evaluates rule predicates and the Algorithm-3
+#: cost as NumPy column operations over position batches; ``"object"``
+#: is the original per-config KernelPlan path, kept as the oracle.
+ENGINES: Tuple[str, ...] = ("columnar", "object")
 
 #: Paper defaults (Section IV-A.3): thread-block dimension size targets.
 DEFAULT_TB_SIZES: Tuple[int, ...] = (4, 8, 16)
@@ -114,6 +123,8 @@ class SearchStats:
     workers: int = 1
     #: Shards the Cartesian product was striped across.
     shards: int = 1
+    #: Engine that produced the result (``"columnar"`` or ``"object"``).
+    engine: str = "columnar"
     #: Combinations classified against the constraint rules.
     configs_checked: int = 0
     #: Survivors scored by the cost model.
@@ -161,6 +172,7 @@ class SearchStats:
             "total_s": self.total_s,
             "workers": self.workers,
             "shards": self.shards,
+            "engine": self.engine,
             "configs_checked": self.configs_checked,
             "configs_ranked": self.configs_ranked,
             "kept": self.kept,
@@ -251,6 +263,18 @@ class TopK:
         if (cost, key) < (-worst[0], worst[1].value):
             heapq.heapreplace(self._heap, entry)
 
+    def bound(self) -> Optional[Tuple[int, str]]:
+        """(cost, key) of the worst retained entry once the heap is full.
+
+        ``None`` while fewer than ``k`` entries are held (everything
+        still enters).  The columnar engine uses this to drop whole
+        batch slices that cannot beat the current head.
+        """
+        if len(self._heap) < self.k:
+            return None
+        worst = self._heap[0]
+        return (-worst[0], worst[1].value)
+
     def items(self) -> List[Scored]:
         """Retained entries as (cost, key, config), best first."""
         ordered = sorted(
@@ -320,7 +344,13 @@ class Enumerator:
         tbk_sizes: Sequence[int] = DEFAULT_TBK_SIZES,
         policy: Optional[ConstraintPolicy] = None,
         max_configs: int = 200_000,
+        engine: str = "columnar",
+        batch_size: Optional[int] = None,
     ) -> None:
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown search engine {engine!r}; expected one of {ENGINES}"
+            )
         self.contraction = contraction
         self.arch = arch
         self.dtype_bytes = dtype_bytes
@@ -329,6 +359,9 @@ class Enumerator:
         self.tbk_sizes = tuple(tbk_sizes)
         self.checker = ConstraintChecker(arch, dtype_bytes, policy)
         self.max_configs = max_configs
+        self.engine = engine
+        #: Columnar-engine rows per evaluation batch (None = default).
+        self.batch_size = batch_size
         self._extents = {
             i: contraction.extent(i) for i in contraction.all_indices
         }
@@ -586,6 +619,121 @@ class Enumerator:
             top.items(), fallback.items(), stats, search, rules
         )
 
+    def columnar_space(self) -> ColumnarSpace:
+        """The struct-of-arrays encoding of this enumerator's families."""
+        return ColumnarSpace(
+            self.contraction,
+            self.arch,
+            self.enumerate_x_side(),
+            self.enumerate_y_side(),
+            self.enumerate_tb_k(),
+            dtype_bytes=self.dtype_bytes,
+            policy=self.checker.policy,
+        )
+
+    def _stream_columnar(
+        self,
+        cost_model: CostModel,
+        keep: int,
+        shard: int = 0,
+        num_shards: int = 1,
+    ) -> _ShardOutcome:
+        """Columnar counterpart of :meth:`_stream`: batches, not objects.
+
+        The shard walks the same capped position stream the object path
+        does, in batches of ``batch_size`` rows; shard ``shard`` of
+        ``num_shards`` takes every ``num_shards``-th batch.  Each batch
+        is classified by the vectorized Algorithm-2 predicates, scored
+        with the closed-form Algorithm-3 cost over survivors, and top-k
+        candidates are preselected with ``np.argpartition`` before any
+        canonical key or :class:`KernelConfig` is built.  Verdicts,
+        costs and the ranked head are identical to the object path's
+        (``cost_model`` is accepted for signature parity; the closed
+        form needs no memo).
+        """
+        del cost_model  # closed-form cost; kept for signature parity
+        stream_start = time.perf_counter()
+        space = self.columnar_space()
+        stats = EnumerationStats()
+        search = SearchStats(shards=num_shards)
+        top = TopK(keep)
+        fallback = TopK(keep)
+        rules0 = {
+            name: (s.checks, s.rejections, s.time_s)
+            for name, s in self.checker.rule_stats.items()
+        }
+        prune_s = 0.0
+        rank_s = 0.0
+        limit = min(space.size, self.max_configs)
+        batch_size = self.batch_size or DEFAULT_BATCH_SIZE
+        seen_accepted = False
+
+        for batch_index, start in enumerate(range(0, limit, batch_size)):
+            if batch_index % num_shards != shard:
+                continue
+            positions = np.arange(
+                start, min(start + batch_size, limit), dtype=np.int64
+            )
+            batch = space.batch(positions)
+            t0 = time.perf_counter()
+            verdict = batch.classify()
+            prune_s += time.perf_counter() - t0
+            self.checker.absorb_batch_counts(verdict.rule_counts)
+
+            n = len(positions)
+            stats.raw_combinations += n
+            search.configs_checked += n
+            accepted = verdict.accepted
+            n_accepted = int(accepted.sum())
+            perf_rejected = verdict.performance_rejected
+            stats.hardware_pruned += int(verdict.hardware_rejected.sum())
+            stats.performance_pruned += int(perf_rejected.sum())
+            stats.accepted += n_accepted
+
+            t0 = time.perf_counter()
+            if n_accepted:
+                _push_candidates(
+                    top, space, positions[accepted],
+                    batch.costs(accepted), keep,
+                )
+                search.configs_ranked += n_accepted
+            if not seen_accepted:
+                # Object-path parity: perf rejects are scored only while
+                # no accepted survivor has streamed past (they feed the
+                # tiny-problem fallback, which is only consulted when
+                # *nothing* is accepted anywhere).
+                if n_accepted:
+                    cutoff = int(np.flatnonzero(accepted)[0])
+                    reject_mask = perf_rejected & (np.arange(n) < cutoff)
+                    seen_accepted = True
+                else:
+                    reject_mask = perf_rejected
+                n_rejects = int(reject_mask.sum())
+                if n_rejects:
+                    _push_candidates(
+                        fallback, space, positions[reject_mask],
+                        batch.costs(reject_mask), keep,
+                    )
+                    search.configs_ranked += n_rejects
+            rank_s += time.perf_counter() - t0
+
+        total = time.perf_counter() - stream_start
+        search.pruning_s = prune_s
+        search.ranking_s = rank_s
+        search.enumeration_s = max(total - prune_s - rank_s, 0.0)
+        rules = {
+            name: RuleStats(
+                checks=s.checks - rules0[name][0],
+                rejections=s.rejections - rules0[name][1],
+                time_s=s.time_s - rules0[name][2],
+            )
+            for name, s in self.checker.rule_stats.items()
+        }
+        return _ShardOutcome(
+            _materialize(top, space), _materialize(fallback, space),
+            stats, search, rules,
+        )
+
     def search(
         self,
         keep: int = 64,
@@ -593,22 +741,36 @@ class Enumerator:
         cost_model: Optional[CostModel] = None,
         *,
         _workers: Optional[int] = None,
+        engine: Optional[str] = None,
+        checker=_UNSET,
     ) -> EnumerationResult:
         """Streaming search: prune + rank, retaining only ``keep`` best.
 
-        With more than one worker the Cartesian product of partial
-        families is striped across a
-        :class:`concurrent.futures.ProcessPoolExecutor`; each worker
-        returns a bounded top-k heap and the coordinator merges them
-        with :func:`heapq.nsmallest`, so survivors are never globally
-        materialised or sorted.  Falls back to the serial in-process
-        path when only one worker is requested or the pool cannot be
-        used (sandboxed environments, unpicklable policies, ...).
+        ``engine`` selects the evaluation path: ``"columnar"`` (the
+        default, from the constructor) batches the Cartesian product
+        through vectorized rule predicates and the closed-form
+        Algorithm-3 cost; ``"object"`` is the per-config
+        :class:`KernelPlan` path.  Both produce the identical ranked
+        head (cost, canonical key, config).
+
+        With more than one worker the product is sharded across a
+        :class:`concurrent.futures.ProcessPoolExecutor` — the object
+        engine stripes config positions, the columnar engine stripes
+        position *batches* — and the coordinator merges the bounded
+        per-shard heads with :func:`heapq.nsmallest`, so survivors are
+        never globally materialised or sorted.  Falls back to the
+        serial in-process path when only one worker is requested or the
+        pool cannot be used (sandboxed environments, unpicklable
+        policies, ...).
 
         .. deprecated::
             the ``workers`` keyword; set pool width through
             :class:`repro.api.Options` (``repro.api.compile``/``rank``)
-            instead.  Behaviour is unchanged when passed.
+            instead.  Also the ``checker`` keyword: a custom
+            :class:`ConstraintChecker` forces ``engine="object"`` (the
+            columnar predicates cannot honour arbitrary subclasses);
+            construct the enumerator with ``policy=...`` instead.
+            Behaviour is unchanged when either is passed.
 
         Serial and parallel searches select the identical ranked heads:
         cost ties break on the canonical config key, and shard striping
@@ -622,6 +784,20 @@ class Enumerator:
                 "repro.api.Options(workers=...) with repro.api.compile",
             )
             _workers = workers
+        if checker is not _UNSET:
+            warn_deprecated(
+                "Enumerator.search(checker=...)",
+                "Enumerator(policy=...), or engine='object' with the "
+                "checker attribute",
+            )
+            if checker is not None:
+                self.checker = checker
+            engine = "object"
+        engine = self.engine if engine is None else engine
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown search engine {engine!r}; expected one of {ENGINES}"
+            )
         start = time.perf_counter()
         workers = max(1, int(_workers if _workers is not None else 1))
         with obs.span("search"):
@@ -629,7 +805,7 @@ class Enumerator:
             used_workers = 1
             if workers > 1:
                 try:
-                    outcomes = self._search_parallel(keep, workers)
+                    outcomes = self._search_parallel(keep, workers, engine)
                     used_workers = workers
                 except Exception:
                     outcomes = []
@@ -637,12 +813,17 @@ class Enumerator:
                 model = cost_model if cost_model is not None else CostModel(
                     self.dtype_bytes, self.arch.transaction_bytes
                 )
-                outcomes = [self._stream(model, keep)]
+                stream = (
+                    self._stream_columnar if engine == "columnar"
+                    else self._stream
+                )
+                outcomes = [stream(model, keep)]
                 used_workers = 1
 
             stats = EnumerationStats()
             search_stats = SearchStats(workers=used_workers,
-                                       shards=len(outcomes))
+                                       shards=len(outcomes),
+                                       engine=engine)
             for outcome in outcomes:
                 stats.raw_combinations += outcome.stats.raw_combinations
                 stats.hardware_pruned += outcome.stats.hardware_pruned
@@ -698,17 +879,18 @@ class Enumerator:
             session.metrics.absorb_rule_stats(outcome.rules)
 
     def _search_parallel(
-        self, keep: int, workers: int
+        self, keep: int, workers: int, engine: Optional[str] = None
     ) -> List[_ShardOutcome]:
         """Fan the product shards out over a process pool."""
         from concurrent.futures import ProcessPoolExecutor
 
+        engine = self.engine if engine is None else engine
         payloads = [
             (
                 self.contraction, self.arch, self.dtype_bytes,
                 self.tb_sizes, self.reg_sizes, self.tbk_sizes,
                 self.checker.policy, self.max_configs,
-                keep, shard, workers,
+                keep, shard, workers, engine, self.batch_size,
             )
             for shard in range(workers)
         ]
@@ -719,14 +901,58 @@ class Enumerator:
 def _search_shard(payload: Tuple) -> _ShardOutcome:
     """Process-pool entry point: run one shard of a streaming search."""
     (contraction, arch, dtype_bytes, tb_sizes, reg_sizes, tbk_sizes,
-     policy, max_configs, keep, shard, num_shards) = payload
+     policy, max_configs, keep, shard, num_shards, engine,
+     batch_size) = payload
     enumerator = Enumerator(
         contraction, arch, dtype_bytes,
         tb_sizes=tb_sizes, reg_sizes=reg_sizes, tbk_sizes=tbk_sizes,
-        policy=policy, max_configs=max_configs,
+        policy=policy, max_configs=max_configs, engine=engine,
+        batch_size=batch_size,
     )
     cost_model = CostModel(dtype_bytes, arch.transaction_bytes)
+    if engine == "columnar":
+        return enumerator._stream_columnar(
+            cost_model, keep, shard, num_shards
+        )
     return enumerator._stream(cost_model, keep, shard, num_shards)
+
+
+def _push_candidates(
+    top: TopK,
+    space: ColumnarSpace,
+    positions: np.ndarray,
+    costs: np.ndarray,
+    keep: int,
+) -> None:
+    """Feed one batch's scored rows into a bounded :class:`TopK`.
+
+    Rows that cannot beat the collector's current worst entry are
+    dropped wholesale, then ``np.argpartition`` preselects the cheapest
+    ``keep`` rows (keeping all cost ties, which the canonical key
+    breaks), so only genuine top-k candidates pay the canonical-key
+    string construction.  The retained configs are positions — real
+    :class:`KernelConfig` objects are built by :func:`_materialize`
+    only for the final survivors.
+    """
+    bound = top.bound()
+    if bound is not None:
+        within = costs <= bound[0]
+        positions, costs = positions[within], costs[within]
+    if costs.size > keep:
+        order = np.argpartition(costs, keep - 1)
+        kth = costs[order[keep - 1]]
+        within = costs <= kth
+        positions, costs = positions[within], costs[within]
+    for position, cost in zip(positions.tolist(), costs.tolist()):
+        top.push(int(cost), space.key_at(position), position)
+
+
+def _materialize(top: TopK, space: ColumnarSpace) -> List[Scored]:
+    """Turn a TopK of positions into (cost, key, KernelConfig) entries."""
+    return [
+        (cost, key, space.config_at(position))
+        for cost, key, position in top.items()
+    ]
 
 
 def _merge_scored(

@@ -34,6 +34,7 @@ from .enumeration import (
     DEFAULT_REG_SIZES,
     DEFAULT_TB_SIZES,
     DEFAULT_TBK_SIZES,
+    ENGINES,
     EnumerationResult,
     Enumerator,
 )
@@ -190,6 +191,14 @@ class Cogent:
         performance simulator.  ``top_k=1`` selects purely by the cost
         model (the paper's primary mode).  The streaming search keeps
         exactly ``top_k`` survivors in its bounded heap.
+    engine:
+        Search-engine implementation: ``"columnar"`` (default)
+        evaluates Algorithm 2's pruning rules and Algorithm 3's cost
+        as vectorized batch predicates over integer-coded columns;
+        ``"object"`` walks materialised :class:`KernelPlan` objects
+        through :class:`ConstraintChecker`/:class:`CostModel`.  Both
+        engines return bit-identical top-k results; the object path is
+        retained as the oracle for differential testing.
     workers:
         Process-pool width for the configuration search: the Cartesian
         product of partial-configuration families is striped across
@@ -214,6 +223,7 @@ class Cogent:
         allow_split: bool = True,
         split_factors: Sequence[int] = (4, 8, 16),
         allow_merge: bool = False,
+        engine: str = "columnar",
         workers=_UNSET,
     ) -> None:
         if workers is not _UNSET:
@@ -225,8 +235,13 @@ class Cogent:
             )
         else:
             workers = 1
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown search engine {engine!r}; choose from {ENGINES}"
+            )
         self.arch = get_arch(arch) if isinstance(arch, str) else arch
         self.dtype_bytes = dtype_bytes
+        self.engine = engine
         self.top_k = max(1, top_k)
         self.workers = max(1, int(workers))
         self.tb_sizes = tuple(tb_sizes)
@@ -444,6 +459,7 @@ class Cogent:
             reg_sizes=self.reg_sizes,
             tbk_sizes=self.tbk_sizes,
             policy=self.policy,
+            engine=self.engine,
         )
 
     def _enumerate(self, contraction: Contraction) -> EnumerationResult:

@@ -264,6 +264,46 @@ def canonical_key(config: KernelConfig) -> str:
     return config.describe()
 
 
+def canonical_key_from_spec(
+    contraction: Contraction,
+    tb_x: Sequence[Tuple[str, int]] = (),
+    tb_y: Sequence[Tuple[str, int]] = (),
+    reg_x: Sequence[Tuple[str, int]] = (),
+    reg_y: Sequence[Tuple[str, int]] = (),
+    tb_k: Sequence[Tuple[str, int]] = (),
+) -> str:
+    """Canonical key of ``config_from_spec(...)`` without building it.
+
+    String-identical to ``canonical_key(config_from_spec(contraction,
+    ..., fill_defaults=True))``: unmentioned internals render as
+    ``TBk`` tile-1 entries and unmentioned externals as ``Blk`` tile-1
+    entries, appended in ``all_indices`` order exactly as
+    :func:`config_from_spec` fills them.  The columnar search engine
+    keys every top-k candidate row, so skipping the
+    :class:`KernelConfig` construction and validation matters.
+    """
+    mentioned = {
+        name
+        for entries in (tb_x, tb_y, reg_x, reg_y, tb_k)
+        for name, _ in entries
+    }
+    tbk_full = tuple(tb_k) + tuple(
+        (i, 1) for i in contraction.internal_indices if i not in mentioned
+    )
+    grid = tuple(
+        (i, 1) for i in contraction.external_indices if i not in mentioned
+    )
+    parts = []
+    for label, entries in (
+        ("TBx", tb_x), ("TBy", tb_y), ("TBk", tbk_full),
+        ("REGx", reg_x), ("REGy", reg_y), ("Blk", grid),
+    ):
+        if entries:
+            inner = ", ".join(f"{name}:{tile}" for name, tile in entries)
+            parts.append(f"{label}=[{inner}]")
+    return " ".join(parts)
+
+
 def config_from_spec(
     contraction: Contraction,
     tb_x: Sequence[Tuple[str, int]] = (),

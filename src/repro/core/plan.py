@@ -59,6 +59,19 @@ def decompose(flat: int, sizes: Sequence[int]) -> Tuple[int, ...]:
     return tuple(coords)
 
 
+def decompose_array(flat, sizes: Sequence[int]) -> Tuple:
+    """Vectorized :func:`decompose` over an array of linear ids.
+
+    Works on anything supporting ``%`` and ``//`` element-wise (numpy
+    arrays in the columnar search engine); this module stays numpy-free.
+    """
+    coords = []
+    for size in sizes:
+        coords.append(flat % size)
+        flat = flat // size
+    return tuple(coords)
+
+
 @dataclass(frozen=True)
 class KernelPlan:
     """A contraction bound to a configuration and element width."""

@@ -111,6 +111,7 @@ class MetricsRegistry:
     def absorb_search_stats(self, stats) -> None:
         """Fold one ``SearchStats`` (enumeration search) in."""
         self.inc("search.searches")
+        self.inc(f"search.engine.{getattr(stats, 'engine', 'object')}")
         self.inc("search.configs_checked", stats.configs_checked)
         self.inc("search.configs_ranked", stats.configs_ranked)
         self.inc("search.kept", stats.kept)
