@@ -29,6 +29,14 @@ from .core.generator import Cogent, GeneratedKernel
 from .core.library import KernelLibrary
 from .core.merging import MergeSpec, merge_candidates, normalize
 from .core.network import NetworkContractor, contract_network, optimal_path, parse_network
+from .core.program import (
+    CompilationSession,
+    CompiledProgram,
+    KernelStore,
+    canonical_form,
+    code_version_stamp,
+    workload_key,
+)
 from .core.splitting import SplitSpec, candidate_splits, split_index
 from .core.ir import (
     Contraction,
@@ -45,7 +53,15 @@ from .gpu.executor import execute_plan, reference_contract, verify_plan
 from .gpu.simulator import GpuSimulator, ModelParams, SimulationResult
 from . import obs
 from . import api
-from .api import Options, compile, evaluate, last_trace, rank, tune
+from .api import (
+    Options,
+    compile,
+    compile_many,
+    evaluate,
+    last_trace,
+    rank,
+    tune,
+)
 
 __version__ = "1.0.0"
 
@@ -54,12 +70,15 @@ __all__ = [
     "Options",
     "api",
     "compile",
+    "compile_many",
     "evaluate",
     "last_trace",
     "obs",
     "rank",
     "tune",
     "Cogent",
+    "CompilationSession",
+    "CompiledProgram",
     "ConstraintChecker",
     "ConstraintPolicy",
     "Contraction",
@@ -76,6 +95,7 @@ __all__ = [
     "KernelConfig",
     "KernelLibrary",
     "KernelPlan",
+    "KernelStore",
     "MergeSpec",
     "NetworkContractor",
     "SplitSpec",
@@ -86,6 +106,8 @@ __all__ = [
     "TransactionEstimate",
     "VOLTA_V100",
     "candidate_splits",
+    "canonical_form",
+    "code_version_stamp",
     "config_from_spec",
     "contract",
     "contract_network",
@@ -104,4 +126,5 @@ __all__ = [
     "reference_contract",
     "split_index",
     "verify_plan",
+    "workload_key",
 ]

@@ -51,6 +51,7 @@ from .tccg.suite import Benchmark
 __all__ = [
     "Options",
     "compile",
+    "compile_many",
     "evaluate",
     "last_trace",
     "rank",
@@ -90,6 +91,12 @@ class Options:
         Configuration-search engine: ``"columnar"`` (default, batch
         vectorized) or ``"object"`` (per-plan oracle path).  Both
         return bit-identical rankings.
+    store_dir:
+        Directory for the content-addressed persistent kernel store
+        used by :func:`compile_many` (dedup-first workload
+        compilation).  Warm runs against a populated store perform
+        zero configuration searches.  ``None`` disables persistence
+        (dedup within one call still applies).
     """
 
     workers: int = 1
@@ -99,6 +106,7 @@ class Options:
     dtype: str = "double"
     trace: bool = False
     engine: str = "columnar"
+    store_dir: Optional[Union[str, Path]] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -195,6 +203,39 @@ def compile(
             cache = KernelCache(generator, directory=options.cache_dir)
             return cache.get(contraction)
         return generator.generate(expression, sizes, kernel_name)
+
+
+def compile_many(
+    expressions: Sequence[Union[str, Contraction]],
+    sizes: SizesArg = None,
+    options: Options = DEFAULT_OPTIONS,
+    kernel_name: str = "tc_kernel",
+):
+    """Compile a whole workload batch with dedup-first search sharing.
+
+    Partitions the batch into equivalence classes (canonical structure
+    + extents + arch + dtype + search knobs), searches one
+    representative per class, and fans the winner out to every member —
+    bit-identical to compiling each contraction independently.  With
+    ``options.store_dir`` set, class winners persist across processes
+    and warm runs perform zero searches.
+
+    Returns a :class:`repro.core.program.CompiledProgram` whose
+    ``kernels`` align with ``expressions`` and whose ``stats`` report
+    classes, dedup hits and store hits.
+    """
+    from .core.program import CompilationSession
+
+    with _traced(options, "compile_many"):
+        session = CompilationSession(
+            _generator(options), store=options.store_dir
+        )
+        return session.compile(
+            expressions,
+            sizes,
+            kernel_name=kernel_name,
+            workers=options.workers,
+        )
 
 
 def rank(

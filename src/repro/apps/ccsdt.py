@@ -105,11 +105,13 @@ class TriplesDriver:
         n_virtual: int = 8,
         generator: Optional[Cogent] = None,
         seed: int = 0,
+        store_dir=None,
     ) -> None:
         self.no = n_occupied
         self.nv = n_virtual
         self.generator = generator or Cogent()
         self.seed = seed
+        self.store_dir = store_dir
         self.terms = triples_terms()
         self._kernels: Dict[str, GeneratedKernel] = {}
         rng = np.random.default_rng(seed)
@@ -156,6 +158,30 @@ class TriplesDriver:
             )
         return self._kernels[term.name]
 
+    def precompile(self):
+        """Compile all 18 terms as one dedup-first batch.
+
+        One :class:`~repro.core.program.CompilationSession` call covers
+        the full d1+d2 term set: terms sharing a canonical shape share
+        one configuration search, and with ``store_dir`` set a warm
+        process rebuilds every kernel from the persistent store with
+        zero searches.  Terms already generated via :meth:`kernel_for`
+        are kept as-is.
+        """
+        from ..core.program import CompilationSession
+
+        pending = [t for t in self.terms if t.name not in self._kernels]
+        if not pending:
+            return None
+        session = CompilationSession(self.generator, store=self.store_dir)
+        program = session.compile(
+            [parse_compact(t.expr, self.sizes_for(t)) for t in pending],
+            kernel_names=[t.name for t in pending],
+        )
+        for term, kernel in zip(pending, program.kernels):
+            self._kernels[term.name] = kernel
+        return program.stats
+
     # -- evaluation -----------------------------------------------------------
 
     def residual(self, use_kernels: bool = True) -> np.ndarray:
@@ -163,6 +189,8 @@ class TriplesDriver:
         t3 = np.zeros(
             (self.no, self.no, self.no, self.nv, self.nv, self.nv)
         )
+        if use_kernels:
+            self.precompile()
         for term in self.terms:
             a, b = self.operands_for(term)
             if use_kernels:

@@ -15,9 +15,16 @@ Subcommands
     Run a framework comparison over (a subset of) the suite and print
     the Fig. 4/5-style GFLOPS table.
 ``batch``
-    Generate kernels for many contractions at once through the shared
-    kernel cache, parallelised across worker processes, and print the
-    per-contraction search statistics (optionally as JSON).
+    Generate kernels for many contractions at once through the
+    dedup-first workload compiler, parallelised across worker
+    processes, and print the per-contraction search statistics plus
+    dedup/store counters (optionally as JSON).
+``compile``
+    Dedup-first workload compilation: partition a workload into
+    canonical equivalence classes, search one representative per
+    class, fan the winner out to every member, and persist class
+    winners in a content-addressed store so warm runs perform zero
+    searches.
 ``tune``
     Run the Tensor-Comprehensions-style genetic autotuner and print the
     Fig. 8-style tuning curve.
@@ -397,25 +404,31 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_batch(args: argparse.Namespace) -> int:
-    """Suite-level batch generation with per-contraction search stats."""
-    import json
-    import time
-
-    from .core.cache import KernelCache
-
-    if args.file:
+def _select_benches(args: argparse.Namespace):
+    """TCCG benchmark selection shared by batch/compile (names > file > group)."""
+    if getattr(args, "file", None):
         from .tccg.io import load
 
         benches = tuple(load(args.file))
-    elif args.names:
+    elif getattr(args, "names", None):
         benches = tuple(
             get(int(n) if n.isdigit() else n) for n in args.names
         )
     else:
         benches = by_group(args.group) if args.group else all_benchmarks()
-    if args.limit:
+    if getattr(args, "limit", 0):
         benches = benches[: args.limit]
+    return benches
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    """Suite-level batch generation with per-contraction search stats."""
+    import json
+    import time
+
+    from .core.program import CompilationSession
+
+    benches = _select_benches(args)
 
     cogent = Cogent(
         arch=args.arch,
@@ -424,12 +437,13 @@ def cmd_batch(args: argparse.Namespace) -> int:
         engine=getattr(args, "engine", "columnar"),
     )
     cogent.workers = max(1, args.search_workers)
-    cache = KernelCache(cogent, directory=args.cache_dir)
+    session = CompilationSession(
+        cogent, store=args.store_dir or args.cache_dir
+    )
     contractions = [bench.contraction() for bench in benches]
     start = time.perf_counter()
-    kernels = cogent.generate_many(
-        contractions, workers=args.workers, cache=cache
-    )
+    program = session.compile(contractions, workers=args.workers)
+    kernels = program.kernels
     wall_s = time.perf_counter() - start
 
     print(f"batch of {len(benches)} contractions, {args.arch}, "
@@ -465,10 +479,13 @@ def cmd_batch(args: argparse.Namespace) -> int:
             "search": search.as_dict() if search else None,
         })
     gen_sum = sum(k.generation_time_s for k in kernels)
+    stats = program.stats
     print(f"batch wall-time {wall_s:.2f} s "
           f"(sum of per-kernel generation {gen_sum:.2f} s, "
           f"{total_checked / wall_s if wall_s else 0:,.0f} configs/s "
-          f"aggregate); cache: {cache.hits} hits / {cache.misses} misses")
+          f"aggregate); dedup: {stats.classes} classes / "
+          f"{stats.contractions} members, {stats.searches} searches, "
+          f"store: {stats.store_hits} hits / {stats.store_misses} misses")
     if args.json:
         payload = {
             "arch": args.arch,
@@ -477,7 +494,60 @@ def cmd_batch(args: argparse.Namespace) -> int:
             "search_workers": args.search_workers,
             "wall_s": wall_s,
             "configs_checked": total_checked,
+            "dedup": program.as_dict(),
             "kernels": rows,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    """Dedup-first workload compilation against a persistent store."""
+    import json
+
+    from .core.program import CompilationSession
+
+    benches = _select_benches(args)
+    cogent = Cogent(
+        arch=args.arch,
+        dtype_bytes=_dtype_bytes(args),
+        top_k=args.top_k,
+        engine=getattr(args, "engine", "columnar"),
+    )
+    session = CompilationSession(cogent, store=args.store_dir)
+    contractions = [bench.contraction() for bench in benches]
+    program = session.compile(contractions, workers=args.workers)
+
+    print(f"workload of {len(benches)} contractions, {args.arch}, "
+          f"{args.dtype}"
+          + (f", store {args.store_dir}" if args.store_dir else ""))
+    print(f"{'class':<26} {'src':<7} {'members':<18} config")
+    for info in program.classes:
+        rep = program.kernels[info.representative]
+        member_names = ",".join(
+            benches[pos].name for pos in info.members
+        )
+        print(f"{info.key:<26} {info.source:<7} {member_names:<18} "
+              f"{rep.config.describe()}")
+    print(program.stats.summary())
+    if args.json:
+        payload = {
+            "arch": args.arch,
+            "dtype": args.dtype,
+            "store_dir": args.store_dir,
+            "dedup": program.as_dict(),
+            "kernels": [
+                {
+                    "name": bench.name,
+                    "expr": bench.expr,
+                    "config": kernel.config.describe(),
+                    "cost": kernel.cost,
+                    "selection_mode": kernel.selection_mode,
+                }
+                for bench, kernel in zip(benches, program.kernels)
+            ],
         }
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)
@@ -713,7 +783,37 @@ def build_parser() -> argparse.ArgumentParser:
         "(only useful with --workers 1)",
     )
     p_batch.add_argument("--top-k", type=int, default=64)
+    p_batch.add_argument(
+        "--store-dir", metavar="DIR",
+        help="persistent dedup kernel store (defaults to --cache-dir); "
+        "warm runs against a populated store perform zero searches",
+    )
     p_batch.set_defaults(func=cmd_batch)
+
+    p_compile = sub.add_parser(
+        "compile",
+        help="dedup-first workload compilation (one search per "
+        "equivalence class, persistent kernel store)",
+        parents=[common, run_opts, obs_opts, engine_opts],
+    )
+    p_compile.add_argument(
+        "names", nargs="*",
+        help="TCCG benchmark names/ids (default: the selected group)",
+    )
+    p_compile.add_argument(
+        "--group", choices=("ml", "mo", "ccsd", "ccsd_t"),
+    )
+    p_compile.add_argument(
+        "--file", metavar="FILE",
+        help="compile contractions from a benchmark definition file",
+    )
+    p_compile.add_argument("--limit", type=int, default=0)
+    p_compile.add_argument("--top-k", type=int, default=64)
+    p_compile.add_argument(
+        "--store-dir", metavar="DIR",
+        help="content-addressed persistent kernel store directory",
+    )
+    p_compile.set_defaults(func=cmd_compile)
 
     # Report gets its own parent instance: set_defaults mutates the
     # shared --arch action, and report defaults to covering both GPUs

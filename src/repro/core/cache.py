@@ -260,29 +260,76 @@ def contract(
 
 
 def _rebind_kernel(
-    kernel: GeneratedKernel, contraction: Contraction
+    kernel: GeneratedKernel,
+    contraction: Contraction,
+    rename: Optional[Dict[str, str]] = None,
+    kernel_name: Optional[str] = None,
 ) -> GeneratedKernel:
-    """Rebind a cached kernel to the actual problem extents."""
+    """Rebind a cached kernel to the actual problem extents.
+
+    With ``rename`` (a bijection from the kernel's original index names
+    to ``contraction``'s), the kernel is additionally *retargeted* onto
+    an isomorphic contraction: merge/split rewrites are replayed on the
+    target (extending the map with the freshly derived sub-index
+    names), and every configuration is renamed through the completed
+    map.  This is how the dedup-first compiler
+    (:mod:`repro.core.program`) fans one class winner out to every
+    equivalence-class member.
+    """
     from dataclasses import replace
 
+    from .generator import CandidateScore
     from .library import clamp_config
+    from .mapping import rename_config
     from .merging import merge_pair
     from .plan import KernelPlan
     from .splitting import split_index
 
+    mapping = dict(rename) if rename else None
+
+    def name_of(index: str) -> str:
+        return mapping[index] if mapping else index
+
     current = contraction
+    merge_specs = []
     for spec in kernel.merge_specs:
-        current, _ = merge_pair(current, spec.low_name, spec.high_name)
+        current, new_spec = merge_pair(
+            current, name_of(spec.low_name), name_of(spec.high_name)
+        )
+        if mapping is not None:
+            mapping[spec.merged_name] = new_spec.merged_name
+        merge_specs.append(new_spec)
     merged = current
+    split_specs = []
     for spec in kernel.split_specs:
-        current, _ = split_index(current, spec.index, spec.factor)
-    config = clamp_config(kernel.config, current)
+        current, new_spec = split_index(
+            current, name_of(spec.index), spec.factor
+        )
+        if mapping is not None:
+            mapping[spec.low_name] = new_spec.low_name
+            mapping[spec.high_name] = new_spec.high_name
+        split_specs.append(new_spec)
+    config = kernel.config
+    candidates = kernel.candidates
+    if mapping is not None:
+        config = rename_config(config, mapping)
+        candidates = [
+            CandidateScore(
+                rename_config(c.config, mapping), c.cost, c.simulated
+            )
+            for c in kernel.candidates
+        ]
+    config = clamp_config(config, current)
     plan = KernelPlan(current, config, kernel.plan.dtype_bytes)
     return replace(
         kernel,
         contraction=current,
         plan=plan,
+        candidates=candidates,
         original_contraction=contraction,
         merged_contraction=merged,
+        split_specs=tuple(split_specs),
+        merge_specs=tuple(merge_specs),
+        kernel_name=kernel_name or kernel.kernel_name,
         _cuda_source=None,
     )

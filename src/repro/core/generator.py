@@ -262,6 +262,61 @@ class Cogent:
 
     # -- public API -----------------------------------------------------
 
+    def search_signature(self) -> str:
+        """A stable string of every knob that shapes search *results*.
+
+        Folded into dedup-first equivalence-class keys
+        (:func:`repro.core.program.workload_key`): two generators with
+        equal signatures (and arch/dtype) pick identical kernels for
+        identical contractions, so they may share searches and stored
+        winners.  ``workers`` and ``engine`` are deliberately excluded —
+        both are guaranteed bit-identical to their serial/object
+        counterparts.
+        """
+        if self.policy is None:
+            policy = "default"
+        else:
+            policy = ",".join(
+                f"{name}={value}"
+                for name, value in sorted(vars(self.policy).items())
+            )
+        return (
+            f"top_k={self.top_k};tb={self.tb_sizes};reg={self.reg_sizes};"
+            f"tbk={self.tbk_sizes};split={self.allow_split}"
+            f":{self.split_factors};merge={self.allow_merge};"
+            f"policy={policy}"
+        )
+
+    def compile_batch(
+        self,
+        contractions: Iterable[Union[str, Contraction]],
+        sizes: SizesArg = None,
+        kernel_name: str = "tc_kernel",
+        kernel_names: Optional[Sequence[str]] = None,
+        workers: Optional[int] = None,
+        store=None,
+    ):
+        """Dedup-first batch compilation (one search per shape class).
+
+        Convenience wrapper over
+        :class:`repro.core.program.CompilationSession`: the batch is
+        partitioned into canonical-key equivalence classes, one
+        representative per class is searched, and the winner is rebound
+        to every member.  ``store`` (a path or
+        :class:`~repro.core.program.KernelStore`) persists class
+        winners across processes.  Returns a
+        :class:`~repro.core.program.CompiledProgram`.
+        """
+        from .program import CompilationSession
+
+        return CompilationSession(self, store=store).compile(
+            contractions,
+            sizes=sizes,
+            kernel_name=kernel_name,
+            kernel_names=kernel_names,
+            workers=workers,
+        )
+
     def generate(
         self,
         contraction: Union[str, Contraction],

@@ -264,6 +264,24 @@ def canonical_key(config: KernelConfig) -> str:
     return config.describe()
 
 
+def rename_config(
+    config: KernelConfig, rename: Dict[str, str]
+) -> KernelConfig:
+    """The same placement/tiling choice under renamed indices.
+
+    Indices absent from ``rename`` keep their names.  Used by the
+    dedup-first compiler to retarget a class winner onto an isomorphic
+    contraction: renaming never changes tiles, dimensions or ordering,
+    so the renamed config denotes the identical schedule.
+    """
+    return KernelConfig(
+        tuple(
+            IndexMapping(rename.get(m.index, m.index), m.dim, m.tile)
+            for m in config.mappings
+        )
+    )
+
+
 def canonical_key_from_spec(
     contraction: Contraction,
     tb_x: Sequence[Tuple[str, int]] = (),

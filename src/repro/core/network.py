@@ -251,21 +251,37 @@ def optimal_path(spec: NetworkSpec) -> ContractionPath:
 
 
 class NetworkContractor:
-    """Generates and runs kernels for a whole contraction network."""
+    """Generates and runs kernels for a whole contraction network.
+
+    Pairwise steps are compiled as one batch through the dedup-first
+    workload compiler (:mod:`repro.core.program`): isomorphic steps —
+    common in chains like ``ab,bc,cd,de->ae`` where every hop has the
+    same shape — share a single search, and ``store`` (a
+    :class:`~repro.core.program.KernelStore` or directory path) lets
+    repeat runs across processes skip the search entirely.
+    """
 
     def __init__(
         self,
         spec: NetworkSpec,
         generator: Optional[Cogent] = None,
         path: Optional[ContractionPath] = None,
+        store=None,
     ) -> None:
+        from .program import CompilationSession
+
         self.spec = spec
         self.generator = generator or Cogent()
         self.path = path or optimal_path(spec)
-        self.kernels: List[GeneratedKernel] = [
-            self.generator.generate(step.contraction)
-            for step in self.path.steps
-        ]
+        session = CompilationSession(self.generator, store=store)
+        program = session.compile(
+            [step.contraction for step in self.path.steps],
+            kernel_names=[
+                f"net_step{i}" for i in range(len(self.path.steps))
+            ],
+        )
+        self.program = program
+        self.kernels: List[GeneratedKernel] = list(program.kernels)
 
     # -- execution --------------------------------------------------------
 

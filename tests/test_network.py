@@ -85,6 +85,77 @@ class TestOptimalPath:
         assert path.steps[0].contraction.internal_indices == ()
 
 
+class TestOptimalPathDegenerate:
+    """Degenerate inputs now feeding the dedup partitioner: the path
+    (and hence the class partition) must be deterministic."""
+
+    def test_repeated_identical_operands_dedup_to_one_class(self):
+        # A square chain: both pairwise steps are the same matmul
+        # shape, so the workload compiler searches once.
+        spec = parse_network("ab,bc,cd->ad", 24)
+        nc = NetworkContractor(spec, Cogent(arch="V100", top_k=2))
+        assert nc.program.stats.classes == 1
+        assert nc.program.stats.dedup_hits == 1
+        rng = np.random.default_rng(7)
+        m = rng.random((24, 24))
+        # The same operand value used three times.
+        assert np.allclose(nc.execute(m, m, m), m @ m @ m)
+
+    def test_repeated_identical_operands_path_deterministic(self):
+        spec = parse_network("ab,bc,cd->ad", 16)
+        first = optimal_path(spec)
+        second = optimal_path(spec)
+        assert [
+            (s.left, s.right, s.result) for s in first.steps
+        ] == [(s.left, s.right, s.result) for s in second.steps]
+        assert first.total_flops == second.total_flops
+        assert first.peak_intermediate == second.peak_intermediate
+
+    def test_all_contracted_scalar_output_rejected_deterministically(
+        self,
+    ):
+        # ab,ab-> sums everything away; the binary kernel template has
+        # no scalar output, and the error must be stable call-to-call.
+        spec = parse_network("ab,ab->", {"a": 4, "b": 5})
+        with pytest.raises(ContractionError, match="scalar"):
+            optimal_path(spec)
+        with pytest.raises(ContractionError, match="scalar"):
+            optimal_path(spec)
+
+    def test_scalar_intermediate_rejected(self):
+        # The full inner product of a 3-chain forces a scalar only at
+        # the very last step.
+        spec = parse_network("ab,bc,ca->", 4)
+        with pytest.raises(ContractionError, match="scalar"):
+            optimal_path(spec)
+
+    def test_flop_tie_breaks_on_largest_intermediate(self):
+        # Brute-forced example: with these extents the 168-FLOP optimum
+        # is attained by plans with peak intermediates 9 and 12; the
+        # tie-breaker must choose 9.
+        spec = parse_network(
+            "ab,bc,cd,de->ae",
+            {"a": 2, "b": 2, "c": 3, "d": 6, "e": 3},
+        )
+        path = optimal_path(spec)
+        assert path.total_flops == 168
+        assert path.peak_intermediate == 9
+
+    def test_flop_tie_execution_still_correct(self, gen):
+        sizes = {"a": 2, "b": 2, "c": 3, "d": 6, "e": 3}
+        rng = np.random.default_rng(11)
+        ops = [
+            rng.random((sizes["a"], sizes["b"])),
+            rng.random((sizes["b"], sizes["c"])),
+            rng.random((sizes["c"], sizes["d"])),
+            rng.random((sizes["d"], sizes["e"])),
+        ]
+        got = contract_network(
+            "ab,bc,cd,de->ae", *ops, sizes=sizes, generator=gen
+        )
+        assert np.allclose(got, ops[0] @ ops[1] @ ops[2] @ ops[3])
+
+
 class TestExecution:
     def test_chain_matmul(self, gen):
         rng = np.random.default_rng(0)
