@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Suite-level strategy selection over the TCCG benchmark suite.
+
+For every TCCG contraction the packing-aware cost model prices all four
+execution strategies (direct / TTGT / GETT / StridedBatchedGEMM) and the
+vectorized Algorithm-3-style ranking picks the cheapest.  The script
+reports:
+
+* the winner distribution over the suite and the modeled 128-byte
+  transaction totals of ``auto`` selection vs ``always-direct``;
+* the fraction of shapes where a non-direct strategy strictly beats the
+  direct kernel's modeled traffic (PR target: >= 20%);
+* wall-clock of the columnar suite ranking (target: < 1 s for all 48
+  shapes, rank twice to show both cold and warm NumPy dispatch);
+* a differential-verification pass — each shape's *winning* strategy is
+  executed on a scaled instance and checked bit-for-bit against
+  ``numpy.einsum``.
+
+Results land in ``BENCH_strategy_selection.json`` at the repo root.
+
+Run:  PYTHONPATH=src python benchmarks/bench_strategy_selection.py
+      PYTHONPATH=src python benchmarks/bench_strategy_selection.py --smoke
+"""
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.batched import parse_batched
+from repro.gpu.executor import integer_operands, reference_contract
+from repro.strategies import StrategySelector, get_strategy
+from repro.tccg.suite import all_benchmarks
+
+RESULT_PATH = Path(__file__).resolve().parent.parent \
+    / "BENCH_strategy_selection.json"
+
+#: Explicitly batched ML shapes appended to the suite view: the TCCG
+#: list is single-contraction only, and the StridedBatchedGEMM strategy
+#: needs at least one batch-indexed workload to show up as a winner.
+BATCHED_SHAPES = [
+    ("attention-scores", "qkh-qdh-kdh",
+     {"q": 128, "k": 128, "d": 64, "h": 12}),
+    ("attention-apply", "qdh-qkh-kdh",
+     {"q": 128, "k": 128, "d": 64, "h": 12}),
+    ("batched-matmul", "mnb-mkb-knb",
+     {"m": 256, "n": 256, "k": 64, "b": 48}),
+]
+
+SMOKE_TCCG = 6          # TCCG entries in --smoke mode
+VERIFY_SCALE = 0.1      # shape-scale factor for the einsum check
+
+
+def build_workload(smoke: bool):
+    benches = all_benchmarks()
+    if smoke:
+        benches = benches[:SMOKE_TCCG]
+    labels = [b.name for b in benches]
+    contractions = [b.contraction() for b in benches]
+    for name, expr, sizes in BATCHED_SHAPES:
+        labels.append(name)
+        contractions.append(parse_batched(expr, sizes))
+    return labels, contractions, len(benches)
+
+
+def verify_winners(selector, labels, contractions, winners, smoke):
+    """Execute each shape's winning strategy on a scaled instance and
+    compare bit-for-bit against einsum (integer operands)."""
+    benches = {b.name: b for b in all_benchmarks()}
+    checked = 0
+    for label, contraction, winner in zip(labels, contractions, winners):
+        if label in benches:
+            small = benches[label].scaled(VERIFY_SCALE)
+        else:
+            inner = getattr(contraction, "inner", contraction)
+            sizes = dict(inner.sizes)
+            sizes.update(contraction.sizes)
+            expr = next(e for n, e, _ in BATCHED_SHAPES if n == label)
+            small = parse_batched(
+                expr, {k: max(2, v // 8) for k, v in sizes.items()}
+            )
+        strategy = get_strategy(winner, arch=selector.arch)
+        a, b = integer_operands(small, seed=checked)
+        got = strategy.execute(small, a, b)
+        want = reference_contract(small, a, b)
+        assert np.array_equal(got, want), (
+            f"{label}: winner {winner} diverged from einsum"
+        )
+        checked += 1
+        if smoke and checked >= SMOKE_TCCG + len(BATCHED_SHAPES):
+            break
+    return checked
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small TCCG subset, fast CI mode")
+    parser.add_argument("--arch", default="V100")
+    parser.add_argument("--out", type=Path, default=RESULT_PATH)
+    args = parser.parse_args()
+
+    labels, contractions, n_tccg = build_workload(args.smoke)
+    selector = StrategySelector(arch=args.arch)
+
+    start = time.perf_counter()
+    suite = selector.rank_suite(contractions, labels=labels)
+    cold_s = time.perf_counter() - start
+    start = time.perf_counter()
+    selector.rank_suite(contractions, labels=labels)
+    warm_s = time.perf_counter() - start
+
+    winners = list(suite.winners)
+    print(f"strategy selection over {len(labels)} shapes "
+          f"({n_tccg} TCCG + {len(BATCHED_SHAPES)} batched), "
+          f"{args.arch} DP")
+    print(f"  suite ranking wall-clock: cold {cold_s * 1e3:.1f} ms, "
+          f"warm {warm_s * 1e3:.1f} ms")
+    counts = {k: v for k, v in suite.winner_counts.items() if v}
+    print(f"  winner distribution: "
+          + ", ".join(f"{k}={v}" for k, v in counts.items()))
+    print(f"  modeled 128B transactions: auto={suite.auto_total} "
+          f"direct-only={suite.direct_total} "
+          f"(uplift {suite.traffic_uplift * 100:.1f}%)")
+    print(f"  shapes where a non-direct strategy wins outright: "
+          f"{suite.improved_fraction * 100:.1f}%")
+
+    checked = verify_winners(
+        selector, labels, contractions, winners, args.smoke
+    )
+    print(f"  differential check: {checked} winning strategies "
+          "bit-identical to numpy.einsum on scaled instances")
+
+    # Non-direct winner on the batched tail: the strided-batched GEMM
+    # family must claim at least one explicitly batched shape.
+    batched_tail = winners[-len(BATCHED_SHAPES):]
+    non_direct_batched = sum(1 for w in batched_tail if w != "direct")
+    assert non_direct_batched >= 1, (
+        f"expected a non-direct winner on a batched shape, "
+        f"got {batched_tail}"
+    )
+    if not args.smoke:
+        assert cold_s < 1.0, (
+            f"suite ranking took {cold_s:.2f}s, must stay under 1s"
+        )
+        assert suite.improved_fraction >= 0.2, (
+            f"auto must beat always-direct on >= 20% of shapes, "
+            f"got {suite.improved_fraction * 100:.1f}%"
+        )
+
+    payload = {
+        "arch": args.arch,
+        "smoke": args.smoke,
+        "shapes": len(labels),
+        "tccg_shapes": n_tccg,
+        "batched_shapes": len(BATCHED_SHAPES),
+        "rank_suite_cold_s": cold_s,
+        "rank_suite_warm_s": warm_s,
+        "winner_counts": suite.winner_counts,
+        "auto_total_transactions": int(suite.auto_total),
+        "direct_total_transactions": int(suite.direct_total),
+        "traffic_uplift": suite.traffic_uplift,
+        "improved_fraction": suite.improved_fraction,
+        "verified_winners": checked,
+        "per_shape": suite.as_dict()["shapes"],
+    }
+    args.out.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,56 +1,97 @@
 #!/usr/bin/env python3
-"""Batched contractions for machine-learning workloads.
+"""Batched ML workloads through the execution-strategy layer.
 
-The paper's first TCCG group comes from ML tensor-times-matrix
-products; the cited Shi et al. work extends BLAS with *batched* strided
-contractions, where a batch index appears in all three tensors.  Batch
-indices violate COGENT's 2-of-3 structural property, so this extension
-handles them the way batched BLAS does: batch dimensions sit as the
-slowest (trailing) axes, every batch element is a contiguous slice, and
-the inner COGENT kernel is launched per element with offset pointers.
+Real machine-learning contraction workloads are dominated by *batched*
+shapes — attention products batch over heads, Tucker decompositions
+batch a tensor-times-matrix over the untouched modes.  This example
+runs an attention-style and a Tucker-style workload end to end through
+:mod:`repro.strategies`: for every shape the packing-aware cost model
+ranks direct / TTGT / GETT / StridedBatchedGEMM, the winner's plan is
+printed (pack -> macro-kernel -> unpack), and the StridedBatchedGEMM
+path is executed and verified element-wise against ``numpy.einsum``.
 
 Run:  python examples/batched_ml.py
 """
 
 import numpy as np
 
-from repro import Cogent
-from repro.core.batched import generate_batched, parse_batched
+from repro.core.batched import parse_batched
+from repro.core.parser import parse
+from repro.gpu.executor import integer_operands, reference_contract
+from repro.strategies import StrategySelector, get_strategy
+
+#: (title, expression, sizes, parser).  The first three carry an
+#: explicit batch index (in all three tensors); the Tucker-style TTM is
+#: a *plain* contraction whose trailing output dims form a batchable
+#: suffix — StridedBatchedGEMM broadcasts the factor matrix.
+WORKLOAD = [
+    ("attention scores  S[q,k,h] = Q[q,d,h] * K[k,d,h]",
+     "qkh-qdh-kdh",
+     {"q": 128, "k": 128, "d": 64, "h": 12}, parse_batched),
+    ("attention apply   O[q,d,h] = S[q,k,h] * V[k,d,h]",
+     "qdh-qkh-kdh",
+     {"q": 128, "k": 128, "d": 64, "h": 12}, parse_batched),
+    ("batched matmul    C[m,n,b] = A[m,k,b] * B[k,n,b]",
+     "mnb-mkb-knb",
+     {"m": 256, "n": 256, "k": 64, "b": 48}, parse_batched),
+    ("Tucker-style TTM  C[a,r,c] = A[a,b,c] * U[b,r]",
+     "arc-abc-br",
+     {"a": 64, "b": 96, "c": 48, "r": 16}, parse),
+]
 
 
 def main() -> None:
-    # Batched attention-style product: C[m,n,b] = A[m,k,b] * B[k,n,b].
-    batched = parse_batched(
-        "mnb-mkb-knb", {"m": 256, "n": 256, "k": 64, "b": 48}
+    selector = StrategySelector(arch="V100")
+    all_exact = True
+
+    for title, expr, sizes, parser in WORKLOAD:
+        contraction = parser(expr, sizes)
+        choice = selector.choose(contraction)
+        print(f"{title}")
+        print(f"  modeled 128B transactions per strategy:")
+        for name, traffic in choice.ranking:
+            if not traffic.applicable:
+                print(f"    {name:<8} n/a")
+                continue
+            mark = "  <- selected" if name == choice.selected else ""
+            print(f"    {name:<8} macro={traffic.macro:<10} "
+                  f"pack={traffic.pack:<8} unpack={traffic.unpack:<8} "
+                  f"total={traffic.total}{mark}")
+
+        # Plan and run the strided-batched path end to end on a scaled
+        # instance, checking bit-for-bit against einsum (integer
+        # operands make every summation order exact).
+        small_sizes = {k: max(2, v // 8) for k, v in sizes.items()}
+        small = parser(expr, small_sizes)
+        strategy = get_strategy("batched", arch="V100")
+        plan = strategy.plan(small)
+        print("  plan (scaled instance):")
+        for line in plan.summary().splitlines():
+            print(f"    {line}")
+        a, b = integer_operands(small, seed=1)
+        got = strategy.execute_plan(plan, a, b)
+        want = reference_contract(small, a, b)
+        exact = np.array_equal(got, want)
+        all_exact = all_exact and exact
+        print(f"  StridedBatchedGEMM vs einsum: "
+              f"{'exact match' if exact else 'MISMATCH'}")
+        print()
+
+    # The suite view: one vectorized ranking over the whole workload.
+    contractions = [parser(e, s) for _, e, s, parser in WORKLOAD]
+    suite = selector.rank_suite(
+        contractions, labels=[t.split()[0] for t, *_ in WORKLOAD]
     )
-    print("batched contraction:", batched)
-    print("inner contraction  :", batched.inner)
-    print(f"batch elements     : {batched.batch_count}, "
-          f"total {batched.flops / 1e9:.2f} GFLOP")
-    print()
-
-    generator = Cogent(arch="V100")
-    kernel = generate_batched(batched, generator=generator)
-    print("inner kernel config:", kernel.inner_kernel.config.describe())
-    sim = kernel.predict(generator)
-    print(f"predicted          : {sim.gflops:.1f} GFLOPS for the whole "
-          f"batch ({sim.time_s * 1e6:.0f} us)")
-    print()
-
-    print("--- batched launch wrapper ---")
-    print(kernel.batched_driver_source())
-
-    # Numerical validation on a scaled-down instance.
-    small = parse_batched("mnb-mkb-knb",
-                          {"m": 12, "n": 10, "k": 7, "b": 5})
-    small_kernel = generate_batched(small, generator=generator)
-    rng = np.random.default_rng(0)
-    a = rng.standard_normal((12, 7, 5))
-    b = rng.standard_normal((7, 10, 5))
-    got = small_kernel.execute(a, b)
-    want = np.einsum("mkb,knb->mnb", a, b)
-    print("numerical check vs einsum:",
-          "PASS" if np.allclose(got, want) else "FAIL")
+    counts = ", ".join(
+        f"{name}={count}"
+        for name, count in suite.winner_counts.items() if count
+    )
+    print(f"suite winners: {counts}")
+    print(f"modeled traffic saved by auto selection vs always-direct: "
+          f"{suite.traffic_uplift * 100:.1f}%")
+    print("PASS" if all_exact else "FAIL")
+    if not all_exact:
+        raise SystemExit(1)
 
 
 if __name__ == "__main__":

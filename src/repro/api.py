@@ -55,6 +55,7 @@ __all__ = [
     "evaluate",
     "last_trace",
     "rank",
+    "select_strategy",
     "tune",
 ]
 
@@ -97,6 +98,13 @@ class Options:
         compilation).  Warm runs against a populated store perform
         zero configuration searches.  ``None`` disables persistence
         (dedup within one call still applies).
+    strategy:
+        Execution-strategy family: ``"direct"`` (default, the paper's
+        searched kernel), ``"ttgt"``, ``"gett"``, ``"batched"``, or
+        ``"auto"`` to rank all four on the packing-aware DRAM-traffic
+        model (see :mod:`repro.strategies` and
+        :func:`select_strategy`).  Folded into the generator's search
+        signature, so dedup-first stores cache per-strategy winners.
     """
 
     workers: int = 1
@@ -107,6 +115,7 @@ class Options:
     trace: bool = False
     engine: str = "columnar"
     store_dir: Optional[Union[str, Path]] = None
+    strategy: str = "direct"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -126,6 +135,14 @@ class Options:
             raise ValueError(
                 f"engine must be one of {sorted(ENGINES)}, "
                 f"got {self.engine!r}"
+            )
+        from .core.costmodel import STRATEGY_NAMES
+
+        if self.strategy not in ("auto",) + STRATEGY_NAMES:
+            raise ValueError(
+                f"strategy must be one of "
+                f"{sorted(('auto',) + STRATEGY_NAMES)}, "
+                f"got {self.strategy!r}"
             )
 
     @property
@@ -172,6 +189,7 @@ def _generator(options: Options) -> Cogent:
         dtype_bytes=options.dtype_bytes,
         top_k=options.top_k,
         engine=options.engine,
+        strategy=options.strategy,
     )
     # Attribute assignment, not the constructor keyword: the keyword is
     # the deprecated spelling this facade replaces.
@@ -250,6 +268,27 @@ def rank(
             if isinstance(expression, str) else expression
         )
         return _generator(options).rank_configs(contraction)
+
+
+def select_strategy(
+    expression: Union[str, Contraction],
+    sizes: SizesArg = None,
+    options: Options = DEFAULT_OPTIONS,
+):
+    """Rank execution strategies for one contraction.
+
+    Returns a :class:`repro.strategies.StrategyChoice` whose
+    ``selected`` is the modeled-traffic winner (deterministic, worker-
+    count independent) and whose ``ranking`` lists every considered
+    strategy's macro/pack/unpack transaction breakdown.
+    ``options.strategy="auto"`` ranks all four families; a fixed
+    strategy restricts the ranking to that single family.
+
+    ``expression`` accepts batched contractions too (parse them with
+    :func:`repro.core.batched.parse_batched` and pass the object).
+    """
+    with _traced(options, "select_strategy"):
+        return _generator(options).select_strategy(expression, sizes)
 
 
 def evaluate(

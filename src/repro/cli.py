@@ -36,7 +36,9 @@ The ``gen``/``rank``/``bench``/``batch``/``report``/``tune`` commands
 share normalized ``--arch``/``--dtype``/``--workers``/``--cache-dir``/
 ``--json`` flags with identical semantics, and ``gen``/``bench``/
 ``batch``/``tune`` accept ``--trace``/``--metrics-out`` to record an
-observability session around the run.
+observability session around the run.  ``rank`` and ``bench`` accept
+``--strategy auto|direct|ttgt|gett|batched`` to additionally rank
+execution strategies on the packing-aware DRAM-traffic model.
 
 Examples
 --------
@@ -115,6 +117,20 @@ def _engine_parent() -> argparse.ArgumentParser:
     return p
 
 
+def _strategy_parent() -> argparse.ArgumentParser:
+    """Shared ``--strategy`` flag (execution-strategy family)."""
+    p = argparse.ArgumentParser(add_help=False)
+    p.add_argument(
+        "--strategy", default=None,
+        choices=("auto", "direct", "ttgt", "gett", "batched"),
+        help="execution strategy to rank/report: 'auto' compares "
+        "direct/ttgt/gett/batched on the packing-aware DRAM-traffic "
+        "model; a fixed name restricts to that family (default: "
+        "omit strategy reporting)",
+    )
+    return p
+
+
 def _obs_parent() -> argparse.ArgumentParser:
     """Shared observability flags (``--trace``/``--metrics-out``)."""
     p = argparse.ArgumentParser(add_help=False)
@@ -135,14 +151,27 @@ def _dtype_bytes(args: argparse.Namespace) -> int:
     return 8 if args.dtype == "double" else 4
 
 
-def _resolve_contraction(args: argparse.Namespace):
+def _resolve_contraction(
+    args: argparse.Namespace, allow_batched: bool = False
+):
     """Expression string or TCCG benchmark name/id -> Contraction."""
     expr = args.expr
     try:
         bench = get(int(expr) if expr.isdigit() else expr)
         return bench.contraction()
     except KeyError:
-        return parse(expr, parse_size_spec(args.sizes))
+        pass
+    sizes = parse_size_spec(args.sizes)
+    try:
+        return parse(expr, sizes)
+    except Exception:
+        if not allow_batched:
+            raise
+        # Batch indices (present in all three tensors) fail the plain
+        # parser; commands that understand BatchedContraction retry.
+        from .core.batched import parse_batched
+
+        return parse_batched(expr, sizes)
 
 
 def _make_generator(args: argparse.Namespace, **extra) -> Cogent:
@@ -282,16 +311,48 @@ def _rule_pruning_by_engine(cogent: Cogent, contraction) -> dict:
     return table
 
 
+def _strategy_selector(args: argparse.Namespace):
+    """StrategySelector from the normalized --strategy flag (or None)."""
+    choice = getattr(args, "strategy", None)
+    if choice is None:
+        return None
+    from .strategies import StrategySelector
+
+    names = None if choice == "auto" else (choice,)
+    return StrategySelector(
+        arch=args.arch,
+        dtype_bytes=_dtype_bytes(args),
+        **({"strategies": names} if names else {}),
+    )
+
+
+def _print_strategy_choice(choice) -> None:
+    """Human-readable per-strategy traffic table for one contraction."""
+    print("\nexecution strategies (modeled 128B transactions):")
+    print(f"{'strategy':<9} {'macro':>12} {'pack':>10} {'unpack':>10} "
+          f"{'total':>12}")
+    for name, traffic in choice.ranking:
+        if not traffic.applicable:
+            print(f"{name:<9} {'n/a':>12}")
+            continue
+        mark = " <- selected" if name == choice.selected else ""
+        print(f"{name:<9} {traffic.macro:>12} {traffic.pack:>10} "
+              f"{traffic.unpack:>10} {traffic.total:>12}{mark}")
+
+
 def cmd_rank(args: argparse.Namespace) -> int:
     """Print the top cost-model-ranked configurations."""
-    contraction = _resolve_contraction(args)
+    contraction = _resolve_contraction(args, allow_batched=True)
+    # Config ranking searches the inner (per-batch-element) kernel for
+    # batched contractions; strategy ranking sees the whole problem.
+    core = getattr(contraction, "inner", contraction)
     cogent = _make_generator(args)
-    ranked = cogent.rank_configs(contraction)
+    ranked = cogent.rank_configs(core)
     print(f"{len(ranked)} configurations after pruning; top {args.top}:")
     print(f"{'rank':>4} {'cost(txns)':>12} {'GFLOPS':>9}  config")
     rows = []
     for pos, (config, cost) in enumerate(ranked[: args.top]):
-        plan = KernelPlan(contraction, config, _dtype_bytes(args))
+        plan = KernelPlan(core, config, _dtype_bytes(args))
         sim = cogent.predict(plan)
         print(f"{pos:>4} {cost:>12} {sim.gflops:>9.1f}  {config.describe()}")
         rows.append({
@@ -300,7 +361,12 @@ def cmd_rank(args: argparse.Namespace) -> int:
             "gflops": sim.gflops,
             "config": config.describe(),
         })
-    pruning = _rule_pruning_by_engine(cogent, contraction)
+    selector = _strategy_selector(args)
+    strategy_choice = None
+    if selector is not None:
+        strategy_choice = selector.choose(contraction)
+        _print_strategy_choice(strategy_choice)
+    pruning = _rule_pruning_by_engine(cogent, core)
     print("\nper-rule pruned counts (columnar | object):")
     rules = sorted(
         set(pruning["columnar"]) | set(pruning["object"])
@@ -325,6 +391,8 @@ def cmd_rank(args: argparse.Namespace) -> int:
             "rule_pruning": pruning,
             "top": rows,
         }
+        if strategy_choice is not None:
+            payload["strategy"] = strategy_choice.as_dict()
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)
         print(f"wrote {args.json}", file=sys.stderr)
@@ -367,6 +435,13 @@ def cmd_bench(args: argparse.Namespace) -> int:
     frameworks = args.frameworks.split(",")
     rows = runner.compare(benches, frameworks, _workers=args.workers)
     stats = runner.last_stats
+    selector = _strategy_selector(args)
+    suite_selection = None
+    if selector is not None:
+        suite_selection = selector.rank_suite(
+            [bench.contraction() for bench in benches],
+            labels=[bench.name for bench in benches],
+        )
     if args.csv:
         print(to_csv(rows, frameworks))
     else:
@@ -378,6 +453,25 @@ def cmd_bench(args: argparse.Namespace) -> int:
             )
         )
         print(f"pipeline: {stats.summary()}")
+    if suite_selection is not None and not args.csv:
+        print("\nstrategy winners (modeled 128B transactions):")
+        col = suite_selection.strategies.index("direct")
+        for i, (label, winner) in enumerate(
+            zip(suite_selection.labels, suite_selection.winners)
+        ):
+            best = int(suite_selection.matrix[i].min())
+            direct = int(suite_selection.matrix[i, col])
+            saved = (1 - best / direct) * 100 if direct else 0.0
+            print(f"  {label:<14} {winner:<8} "
+                  f"total={best:>12} ({saved:+.1f}% vs direct)")
+        counts = ", ".join(
+            f"{name}={count}"
+            for name, count in suite_selection.winner_counts.items()
+            if count
+        )
+        print(f"  distribution: {counts}; suite traffic uplift "
+              f"{suite_selection.traffic_uplift * 100:.1f}% vs "
+              f"always-direct")
     if args.json:
         payload = {
             "arch": args.arch,
@@ -398,6 +492,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 for row in rows
             ],
         }
+        if suite_selection is not None:
+            payload["strategy"] = suite_selection.as_dict()
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)
         print(f"wrote {args.json}")
@@ -729,9 +825,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_save.add_argument("--top-k", type=int, default=64)
     p_save.set_defaults(func=cmd_save)
 
+    strategy_opts = _strategy_parent()
     p_rank = sub.add_parser(
         "rank", help="rank configurations by cost",
-        parents=[common, run_opts, engine_opts],
+        parents=[common, run_opts, engine_opts, strategy_opts],
     )
     p_rank.add_argument("expr")
     p_rank.add_argument("--sizes")
@@ -748,7 +845,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_bench = sub.add_parser(
         "bench", help="compare frameworks",
-        parents=[common, run_opts, obs_opts],
+        parents=[common, run_opts, obs_opts, strategy_opts],
     )
     p_bench.add_argument("--group", choices=("ml", "mo", "ccsd", "ccsd_t"))
     p_bench.add_argument(

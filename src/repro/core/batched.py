@@ -96,6 +96,19 @@ class BatchedContraction:
     def flops(self) -> int:
         return self.inner.flops * self.batch_count
 
+    def extents_of(self, tensor: TensorRef) -> Tuple[int, ...]:
+        return tuple(self.sizes[i] for i in tensor.indices)
+
+    def einsum_spec(self) -> str:
+        """Whole-problem einsum subscripts (batch indices included) —
+        makes the :mod:`repro.gpu.executor` reference path work on
+        batched contractions unchanged."""
+        from .ir import einsum_subscripts
+
+        return einsum_subscripts(
+            self.a.indices, self.b.indices, self.c.indices
+        )
+
     def __str__(self) -> str:
         return (
             f"{self.c} = {self.a} * {self.b} "

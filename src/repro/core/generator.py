@@ -225,6 +225,7 @@ class Cogent:
         allow_merge: bool = False,
         engine: str = "columnar",
         workers=_UNSET,
+        strategy: str = "direct",
     ) -> None:
         if workers is not _UNSET:
             # Old call path, kept behaviourally identical: the blessed
@@ -239,9 +240,20 @@ class Cogent:
             raise ValueError(
                 f"unknown search engine {engine!r}; choose from {ENGINES}"
             )
+        from .costmodel import STRATEGY_NAMES
+
+        if strategy not in ("auto",) + STRATEGY_NAMES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; choose from "
+                f"{('auto',) + STRATEGY_NAMES}"
+            )
         self.arch = get_arch(arch) if isinstance(arch, str) else arch
         self.dtype_bytes = dtype_bytes
         self.engine = engine
+        #: Execution-strategy family ("direct" is the paper's kernel;
+        #: "auto" ranks direct/ttgt/gett/batched on the packing-aware
+        #: traffic model, see :mod:`repro.strategies`).
+        self.strategy = strategy
         self.top_k = max(1, top_k)
         self.workers = max(1, int(workers))
         self.tb_sizes = tuple(tb_sizes)
@@ -284,8 +296,41 @@ class Cogent:
             f"top_k={self.top_k};tb={self.tb_sizes};reg={self.reg_sizes};"
             f"tbk={self.tbk_sizes};split={self.allow_split}"
             f":{self.split_factors};merge={self.allow_merge};"
-            f"policy={policy}"
+            f"policy={policy};strategy={self.strategy}"
         )
+
+    def select_strategy(self, contraction: Union[str, Contraction],
+                        sizes: SizesArg = None):
+        """Rank execution strategies for ``contraction`` and return a
+        :class:`repro.strategies.StrategyChoice`.
+
+        With ``strategy="auto"`` all four families compete on the
+        packing-aware traffic model; a fixed strategy restricts the
+        ranking to that single family (and errors if inapplicable).
+        """
+        from ..strategies.selector import StrategySelector
+
+        if isinstance(contraction, str):
+            from .parser import parse
+
+            try:
+                contraction = parse(contraction, sizes)
+            except Exception:
+                # Expressions with indices in all three tensors are
+                # explicit batched contractions (e.g. "qkh-qdh-kdh").
+                from .batched import parse_batched
+
+                contraction = parse_batched(contraction, sizes)
+        if self.strategy == "auto":
+            names = None
+        else:
+            names = (self.strategy,)
+        selector = StrategySelector(
+            arch=self.arch.name,
+            dtype_bytes=self.dtype_bytes,
+            **({"strategies": names} if names else {}),
+        )
+        return selector.choose(contraction)
 
     def compile_batch(
         self,

@@ -274,18 +274,31 @@ class Contraction:
         row-major over the *subscript order*, which is layout-agnostic:
         we keep tensor index order as written.
         """
-        alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
-        names = sorted({*self.a.indices, *self.b.indices, *self.c.indices})
-        if len(names) > len(alphabet):
-            raise ContractionError("too many distinct indices for einsum")
-        short = {name: alphabet[i] for i, name in enumerate(names)}
-        a_sub = "".join(short[i] for i in self.a.indices)
-        b_sub = "".join(short[i] for i in self.b.indices)
-        c_sub = "".join(short[i] for i in self.c.indices)
-        return f"{a_sub},{b_sub}->{c_sub}"
+        return einsum_subscripts(
+            self.a.indices, self.b.indices, self.c.indices
+        )
 
     def __str__(self) -> str:
         return f"{self.c} = {self.a} * {self.b}"
+
+
+def einsum_subscripts(
+    a_indices: Sequence[str],
+    b_indices: Sequence[str],
+    c_indices: Sequence[str],
+) -> str:
+    """``A,B->C`` einsum subscripts with index names compressed to
+    single letters (shared by :class:`Contraction` and the batched
+    extension, which einsum handles identically)."""
+    alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    names = sorted({*a_indices, *b_indices, *c_indices})
+    if len(names) > len(alphabet):
+        raise ContractionError("too many distinct indices for einsum")
+    short = {name: alphabet[i] for i, name in enumerate(names)}
+    a_sub = "".join(short[i] for i in a_indices)
+    b_sub = "".join(short[i] for i in b_indices)
+    c_sub = "".join(short[i] for i in c_indices)
+    return f"{a_sub},{b_sub}->{c_sub}"
 
 
 def make_contraction(

@@ -48,6 +48,31 @@ def random_operands(
     return a, b
 
 
+def integer_operands(
+    contraction,
+    seed: int = 0,
+    span: int = 4,
+    dtype: np.dtype = np.float64,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Integer-valued float operands for bit-exact differential tests.
+
+    Small integers in ``[-span, span]`` keep every product and partial
+    sum exactly representable, so any summation order — tiled direct
+    kernels, GEMM panels, batched matmul — produces results
+    *bit-identical* to ``numpy.einsum``.  Accepts anything with
+    ``a``/``b`` tensor refs and ``extents_of`` (plain or batched
+    contractions).
+    """
+    rng = np.random.default_rng(seed)
+    a = rng.integers(
+        -span, span + 1, size=contraction.extents_of(contraction.a)
+    ).astype(dtype)
+    b = rng.integers(
+        -span, span + 1, size=contraction.extents_of(contraction.b)
+    ).astype(dtype)
+    return a, b
+
+
 def execute_plan(
     plan: KernelPlan, a: np.ndarray, b: np.ndarray
 ) -> np.ndarray:

@@ -1,0 +1,44 @@
+"""Execution strategies: plan → pack → macro-kernel → unpack.
+
+Four interchangeable ways to execute one tensor contraction — the
+paper's searched *direct* kernel, *TTGT* (TAL_SH-like), *GETT*
+(Springer & Bientinesi) and *StridedBatchedGEMM* (Shi et al.) — behind
+one :class:`ExecutionStrategy` interface, plus the model-driven
+:class:`StrategySelector` that ranks them on packing-aware DRAM
+traffic (see :mod:`repro.core.costmodel`).
+"""
+
+from ..core.costmodel import STRATEGY_NAMES, StrategyTraffic
+from .base import (
+    ExecutionStrategy,
+    PackStep,
+    StrategyError,
+    StrategyPlan,
+)
+from .batched import BatchedGemmStrategy
+from .direct import DirectStrategy
+from .gett import GettStrategy
+from .selector import (
+    StrategyChoice,
+    StrategySelector,
+    SuiteSelection,
+    get_strategy,
+)
+from .ttgt import TtgtStrategy
+
+__all__ = [
+    "STRATEGY_NAMES",
+    "BatchedGemmStrategy",
+    "DirectStrategy",
+    "ExecutionStrategy",
+    "GettStrategy",
+    "PackStep",
+    "StrategyChoice",
+    "StrategyError",
+    "StrategyPlan",
+    "StrategySelector",
+    "StrategyTraffic",
+    "SuiteSelection",
+    "TtgtStrategy",
+    "get_strategy",
+]

@@ -1,0 +1,193 @@
+"""StridedBatchedGEMM strategy.
+
+Shi et al.'s extended batched BLAS: when the trailing (slowest) output
+dimensions form a batch — each present in an input only at its trailing
+positions — the contraction lowers to one strided batched GEMM call.
+Every batch element of every tensor is a contiguous slice reached by a
+fixed stride; an operand that does not carry a batch index broadcasts
+with stride 0 (and is re-read once per element it misses, which is what
+the cost model charges via ``rep_a``/``rep_b``).
+
+Applies to explicit :class:`~repro.core.batched.BatchedContraction`\\ s
+(batch index in all three tensors) *and* to plain contractions whose
+trailing output indices satisfy :func:`~repro.core.costmodel.\
+batchable_suffix` — e.g. a Tucker-style TTM ``C[a,r,c] = A[a,b,c] *
+B[b,r]`` batches over ``(r, c)`` with B broadcast.
+
+The numpy path uses ``np.matmul``'s leading-dimension broadcasting,
+which has exactly the strided-batched semantics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..core.costmodel import batchable_suffix
+from ..ttgt.transpose import permutation_between
+from .base import ExecutionStrategy, StrategyError, StrategyPlan
+
+
+@dataclass(frozen=True)
+class BatchedGemmPlan:
+    """The batch split and per-operand matricisation orders."""
+
+    batch: Tuple[str, ...]
+    ext_a_order: Tuple[str, ...]
+    ext_b_order: Tuple[str, ...]
+    int_order: Tuple[str, ...]
+    batch_count: int
+    m: int
+    n: int
+    k: int
+
+
+class BatchedGemmStrategy(ExecutionStrategy):
+    """Lower trailing batch dimensions to one strided batched GEMM."""
+
+    name = "batched"
+
+    @staticmethod
+    def batch_of(contraction) -> Tuple[str, ...]:
+        """The batch indices this strategy would loop over ('' if none)."""
+        explicit = getattr(contraction, "batch_indices", None)
+        if explicit is not None:
+            return tuple(explicit)
+        return batchable_suffix(contraction)
+
+    def applicable(self, contraction) -> bool:
+        return bool(self.batch_of(contraction))
+
+    def plan(self, contraction) -> StrategyPlan:
+        batch = self.batch_of(contraction)
+        if not batch:
+            raise StrategyError(
+                f"no batchable trailing dimensions in {contraction}"
+            )
+        a, b, c = contraction.a, contraction.b, contraction.c
+        sizes = contraction.sizes
+        batch_set = set(batch)
+
+        def stripped(tensor) -> Tuple[str, ...]:
+            return tuple(i for i in tensor.indices if i not in batch_set)
+
+        sa, sb, sc = stripped(a), stripped(b), stripped(c)
+        sc_set = set(sc)
+        int_order = tuple(i for i in sa if i in sb and i not in sc_set)
+        ext_a_order = tuple(i for i in sa if i in sc_set)
+        ext_b_order = tuple(i for i in sb if i in sc_set)
+
+        def prod(indices) -> int:
+            return math.prod(sizes[i] for i in indices) or 1
+
+        details = BatchedGemmPlan(
+            batch=batch,
+            ext_a_order=ext_a_order,
+            ext_b_order=ext_b_order,
+            int_order=int_order,
+            batch_count=prod(batch),
+            m=prod(ext_a_order),
+            n=prod(ext_b_order),
+            k=prod(int_order),
+        )
+
+        def batch_tail(tensor) -> Tuple[str, ...]:
+            present = set(tensor.indices) & batch_set
+            return tuple(i for i in batch if i in present)
+
+        pack_steps = []
+        for tensor, g1, g2 in (
+            (a, ext_a_order, int_order),
+            (b, int_order, ext_b_order),
+        ):
+            target = tuple(g1) + tuple(g2) + batch_tail(tensor)
+            swapped = tuple(g2) + tuple(g1) + batch_tail(tensor)
+            if tensor.indices not in (target, swapped):
+                pack_steps.append(
+                    self._pack_step(
+                        tensor.name, tensor.indices, target, sizes
+                    )
+                )
+        unpack_steps = []
+        c_target = ext_a_order + ext_b_order + batch
+        if c.indices != c_target:
+            unpack_steps.append(
+                self._pack_step(c.name, c_target, c.indices, sizes)
+            )
+
+        rep_a = details.batch_count // prod(batch_tail(a))
+        rep_b = details.batch_count // prod(batch_tail(b))
+        macro = (
+            f"StridedBatchedGEMM batch={details.batch_count} "
+            f"[{','.join(batch)}] M={details.m} N={details.n} "
+            f"K={details.k}"
+        )
+        if rep_a > 1 or rep_b > 1:
+            macro += f" (broadcast rep A={rep_a} B={rep_b})"
+
+        return StrategyPlan(
+            strategy=self.name,
+            contraction=contraction,
+            macro=macro,
+            pack_steps=tuple(pack_steps),
+            unpack_steps=tuple(unpack_steps),
+            traffic=self.modeled_traffic(contraction),
+            workspace_elements=0,
+            details=details,
+        )
+
+    # -- execution --------------------------------------------------------
+
+    def execute_plan(
+        self, plan: StrategyPlan, a: np.ndarray, b: np.ndarray
+    ) -> np.ndarray:
+        contraction = plan.contraction
+        gp = plan.details
+        sizes = contraction.sizes
+        if tuple(a.shape) != contraction.extents_of(contraction.a):
+            raise StrategyError(f"operand A has wrong shape {a.shape}")
+        if tuple(b.shape) != contraction.extents_of(contraction.b):
+            raise StrategyError(f"operand B has wrong shape {b.shape}")
+
+        ma = _to_batched_matrix(
+            a, contraction.a.indices, gp.ext_a_order, gp.int_order,
+            gp.batch, sizes,
+        )
+        mb = _to_batched_matrix(
+            b, contraction.b.indices, gp.int_order, gp.ext_b_order,
+            gp.batch, sizes,
+        )
+        # One batched GEMM: np.matmul broadcasts the leading batch
+        # dimensions, re-reading a size-1 (absent) operand dimension per
+        # batch element — stride-0 strided-batched semantics.
+        mc = np.matmul(ma, mb)
+
+        # (batch..., m, n) -> (m, n, batch...) -> C's index order.
+        mc = np.moveaxis(mc, (-2, -1), (0, 1))
+        ext_order = gp.ext_a_order + gp.ext_b_order + gp.batch
+        shaped = mc.reshape(tuple(sizes[i] for i in ext_order))
+        perm = permutation_between(ext_order, contraction.c.indices)
+        return np.ascontiguousarray(shaped.transpose(perm))
+
+
+def _to_batched_matrix(array, indices, group1, group2, batch, sizes):
+    """Reshape one operand to ``(batch..., rows, cols)`` for matmul.
+
+    ``group1``/``group2`` become the matrix rows/columns; batch indices
+    the operand carries become leading axes in ``batch`` order, the ones
+    it lacks become size-1 axes so matmul broadcasts them.
+    """
+    present = [i for i in batch if i in indices]
+    target = tuple(group1) + tuple(group2) + tuple(present)
+    perm = permutation_between(indices, target)
+    arr = array.transpose(perm)
+    rows = math.prod(sizes[i] for i in group1) or 1
+    cols = math.prod(sizes[i] for i in group2) or 1
+    shape = (rows, cols) + tuple(
+        sizes[i] if i in indices else 1 for i in batch
+    )
+    arr = arr.reshape(shape)
+    return np.moveaxis(arr, (0, 1), (-2, -1))

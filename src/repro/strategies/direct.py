@@ -1,0 +1,64 @@
+"""Direct strategy: the paper's searched single-kernel execution.
+
+COGENT's own path — Algorithm 2 enumerates tilings, Algorithm 3 ranks
+them, and one fused kernel reads both operands in their native layout.
+There are no packing passes at all; the whole plan is the macro-kernel.
+Batched contractions use the per-element launch wrapper from
+:mod:`repro.core.batched`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import ExecutionStrategy, StrategyPlan
+
+
+class DirectStrategy(ExecutionStrategy):
+    """Generate and run a COGENT kernel (no layout passes)."""
+
+    name = "direct"
+
+    def __init__(self, *args, generator=None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._generator = generator
+
+    @property
+    def generator(self):
+        if self._generator is None:
+            from ..core.generator import Cogent
+
+            self._generator = Cogent(
+                arch=self.arch, dtype_bytes=self.dtype_bytes
+            )
+        return self._generator
+
+    def plan(self, contraction) -> StrategyPlan:
+        inner = getattr(contraction, "inner", None)
+        if inner is not None:
+            from ..core.batched import generate_batched
+
+            kernel = generate_batched(contraction, generator=self.generator)
+            config = kernel.inner_kernel.config
+            macro = (
+                f"COGENT kernel per batch element "
+                f"x{contraction.batch_count} ({config})"
+            )
+        else:
+            kernel = self.generator.generate(contraction)
+            macro = f"COGENT kernel ({kernel.config})"
+        return StrategyPlan(
+            strategy=self.name,
+            contraction=contraction,
+            macro=macro,
+            pack_steps=(),
+            unpack_steps=(),
+            traffic=self.modeled_traffic(contraction),
+            workspace_elements=0,
+            details=kernel,
+        )
+
+    def execute_plan(
+        self, plan: StrategyPlan, a: np.ndarray, b: np.ndarray
+    ) -> np.ndarray:
+        return plan.details.execute(a, b)

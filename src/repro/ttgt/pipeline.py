@@ -83,6 +83,29 @@ class TtgtPlan:
     def gflops(self) -> float:
         return self.contraction.flops / self.total_time / 1e9
 
+    def packing_transactions(
+        self, dtype_bytes: int = 8, transaction_bytes: int = 128
+    ) -> int:
+        """Modeled 128-byte transactions of the explicit transpose
+        passes, via the shared packing-cost helper — equal by
+        construction to the pack+unpack columns the strategy cost model
+        charges TTGT (each pass gathers at the plan's preserved-prefix
+        run and writes coalesced; identities cost nothing)."""
+        from ..core.costmodel import pack_transactions
+
+        total = 0
+        for plan in (self.transpose_a, self.transpose_b,
+                     self.transpose_c):
+            # run == elements covers identities and permutations of
+            # size-1 dimensions, which move nothing in memory.
+            if plan.read_run == plan.elements:
+                continue
+            total += pack_transactions(
+                plan.elements, plan.read_run, dtype_bytes,
+                transaction_bytes,
+            )
+        return total
+
     @property
     def workspace_elements(self) -> int:
         """Extra temporary elements TTGT allocates (the paper's space

@@ -68,6 +68,19 @@ class TransposePlan:
     def elements(self) -> int:
         return math.prod(self.shape)
 
+    @property
+    def read_run(self) -> int:
+        """Contiguous gather-run: extent product of the preserved
+        dimension prefix (equals :attr:`elements` iff identity — the
+        same quantity :func:`repro.core.costmodel.common_prefix_run`
+        computes from index orders)."""
+        run = 1
+        for pos, src in enumerate(self.perm):
+            if src != pos:
+                break
+            run *= self.shape[pos]
+        return run
+
     def output_shape(self) -> Tuple[int, ...]:
         return tuple(self.shape[p] for p in self.perm)
 
@@ -79,9 +92,11 @@ def transpose_time(
     params: TransposeParams = TransposeParams(),
 ) -> float:
     """Estimated seconds to run ``plan`` on ``arch``."""
+    from ..core.costmodel import pack_moved_bytes
+
     if plan.is_identity:
         return 0.0
-    bytes_moved = 2 * plan.elements * dtype_bytes
+    bytes_moved = pack_moved_bytes(plan.elements, dtype_bytes)
     if plan.perm[0] == 0:
         efficiency = params.fvi_preserving_efficiency
     else:

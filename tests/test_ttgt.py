@@ -8,6 +8,7 @@ from repro.gpu.executor import random_operands, reference_contract
 from repro.ttgt.gemm import GemmParams, gemm_efficiency, gemm_time
 from repro.ttgt.pipeline import TtgtPipeline
 from repro.ttgt.transpose import (
+    TransposeParams,
     TransposePlan,
     execute_transpose,
     permutation_between,
@@ -160,3 +161,58 @@ class TestPipeline:
     def test_summary_string(self, v100, eq1_repr):
         text = TtgtPipeline(v100).plan(eq1_repr).summary()
         assert "GFLOPS" in text and "M=" in text
+
+
+class TestSharedPackingCost:
+    """The transpose model routes through the shared packing helpers in
+    repro.core.costmodel; these pin the pre-refactor closed-form values
+    so the routing is a pure re-plumbing."""
+
+    def test_fvi_preserving_time_unchanged(self, v100):
+        plan = TransposePlan((64, 32, 16), (0, 2, 1))
+        params = TransposeParams()
+        bandwidth = (
+            v100.dram_bandwidth_gbs * 1e9
+            * params.fvi_preserving_efficiency
+        )
+        expected = (2 * plan.elements * 8) / bandwidth \
+            + params.launch_overhead_s
+        assert transpose_time(plan, v100) == pytest.approx(expected)
+
+    def test_tiled_time_unchanged(self, v100):
+        plan = TransposePlan((64, 32, 16), (1, 0, 2))
+        params = TransposeParams()
+        sat = params.saturation_elements
+        read_f = min(1.0, 64 / sat)
+        write_f = min(1.0, 32 / sat)
+        eff = params.tiled_efficiency * min(
+            1.0, (read_f + write_f) / 2 + 0.25
+        ) * min(read_f, write_f) ** 0.5
+        expected = (2 * plan.elements * 8) \
+            / (v100.dram_bandwidth_gbs * 1e9 * eff) \
+            + params.launch_overhead_s
+        assert transpose_time(plan, v100) == pytest.approx(expected)
+
+    def test_read_run_identity_equals_elements(self):
+        plan = TransposePlan((4, 5, 6), (0, 1, 2))
+        assert plan.read_run == plan.elements
+
+    def test_read_run_prefix_product(self):
+        # First two dims preserved: run = 4 * 5.
+        assert TransposePlan((4, 5, 6, 7), (0, 1, 3, 2)).read_run == 20
+        # FVI moves: run = 1.
+        assert TransposePlan((4, 5), (1, 0)).read_run == 1
+
+    def test_pipeline_packing_transactions_positive_when_transposing(
+        self, v100
+    ):
+        c = parse("abcdef-gdab-efgc", 8)
+        plan = TtgtPipeline(v100).plan(c)
+        assert plan.workspace_elements > 0
+        assert plan.packing_transactions() > 0
+
+    def test_pipeline_packing_transactions_zero_for_matmul(self, v100):
+        # ij-ik-kj matricises as-is: no transposes, no packing traffic.
+        c = parse("ij-ik-kj", 64)
+        plan = TtgtPipeline(v100).plan(c)
+        assert plan.packing_transactions() == 0
