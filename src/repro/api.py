@@ -52,6 +52,7 @@ __all__ = [
     "Options",
     "compile",
     "compile_many",
+    "compile_network",
     "evaluate",
     "last_trace",
     "rank",
@@ -105,6 +106,16 @@ class Options:
         model (see :mod:`repro.strategies` and
         :func:`select_strategy`).  Folded into the generator's search
         signature, so dedup-first stores cache per-strategy winners.
+    path_engine:
+        Contraction-order search engine for :func:`compile_network`:
+        ``"vectorized"`` (default, NumPy bitmask batch DP) or
+        ``"object"`` (per-pair oracle).  Both return bit-identical
+        paths.
+    memory_cap:
+        Optional cap (in elements) on the largest intermediate a
+        network contraction path may create; paths that cannot fit
+        raise :class:`~repro.core.ir.ContractionError`.  ``None`` (the
+        default) means unbounded.
     """
 
     workers: int = 1
@@ -116,6 +127,8 @@ class Options:
     engine: str = "columnar"
     store_dir: Optional[Union[str, Path]] = None
     strategy: str = "direct"
+    path_engine: str = "vectorized"
+    memory_cap: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -143,6 +156,17 @@ class Options:
                 f"strategy must be one of "
                 f"{sorted(('auto',) + STRATEGY_NAMES)}, "
                 f"got {self.strategy!r}"
+            )
+        from .core.network import PATH_ENGINES
+
+        if self.path_engine not in PATH_ENGINES:
+            raise ValueError(
+                f"path_engine must be one of {sorted(PATH_ENGINES)}, "
+                f"got {self.path_engine!r}"
+            )
+        if self.memory_cap is not None and self.memory_cap < 1:
+            raise ValueError(
+                f"memory_cap must be >= 1 element, got {self.memory_cap}"
             )
 
     @property
@@ -254,6 +278,37 @@ def compile_many(
             kernel_name=kernel_name,
             workers=options.workers,
         )
+
+
+def compile_network(
+    expression: Union[str, "NetworkSpec"],
+    sizes: SizesArg = None,
+    options: Options = DEFAULT_OPTIONS,
+):
+    """Compile an n-ary contraction network through the staged pipeline.
+
+    Runs parse → path-optimize → schedule → memory-plan → dedup →
+    codegen (see :mod:`repro.core.pipeline`): the vectorized DP picks
+    the pairwise contraction order (``options.path_engine``, optionally
+    bounded by ``options.memory_cap`` elements per intermediate), the
+    liveness planner assigns intermediates to a reusable buffer arena,
+    isomorphic steps share one search, and ``options.store_dir`` makes
+    warm runs search-free.  Returns a
+    :class:`repro.core.pipeline.CompiledNetwork` — call ``.execute``
+    with the input tensors (``options.workers > 1`` runs independent
+    same-level steps concurrently, bit-identical to serial).
+    """
+    from .core.pipeline import NetworkPipeline
+
+    with _traced(options, "compile_network"):
+        pipeline = NetworkPipeline(
+            _generator(options),
+            store=options.store_dir,
+            path_engine=options.path_engine,
+            memory_cap=options.memory_cap,
+            workers=options.workers,
+        )
+        return pipeline.compile(expression, sizes)
 
 
 def rank(

@@ -96,28 +96,33 @@ class CcsdDriver:
         )
 
     def precompile(self):
-        """Compile the diagram set as one dedup-first batch.
+        """Compile the diagram set through the whole-network pipeline.
 
-        All three diagrams go through a single
-        :class:`~repro.core.program.CompilationSession` — isomorphic
-        diagrams share one search, and with ``store_dir`` set a warm
-        process performs zero searches.  The resulting kernels seed the
+        All three diagrams go through one
+        :class:`~repro.core.pipeline.NetworkPipeline` workload compile —
+        the dedup stage (a single
+        :class:`~repro.core.program.CompilationSession`) searches once
+        per isomorphic diagram, and with ``store_dir`` set a warm
+        process performs zero searches.  Diagrams keep their exact
+        :class:`Contraction` objects (workload mode never rewrites
+        operand or output index orders), so kernels are bit-identical
+        to per-diagram compilation.  The resulting kernels seed the
         sweep-level :class:`KernelCache`, so every subsequent
         :meth:`residual` sweep is a pure cache hit.
         """
-        from ..core.program import CompilationSession
+        from ..core.pipeline import NetworkPipeline
 
-        session = CompilationSession(
+        pipeline = NetworkPipeline(
             self.cache.generator, store=self.store_dir
         )
         contractions = [self._contraction(expr) for _, expr in DIAGRAMS]
-        program = session.compile(
+        net = pipeline.compile_workload(
             contractions, kernel_names=[name for name, _ in DIAGRAMS]
         )
-        for contraction, kernel in zip(contractions, program.kernels):
+        for contraction, kernel in zip(contractions, net.kernels):
             self.cache.put(contraction, kernel)
         self._precompiled = True
-        return program.stats
+        return net.stats
 
     def residual(
         self, t2: np.ndarray, use_kernels: bool = True

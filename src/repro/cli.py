@@ -651,6 +651,43 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_network(args: argparse.Namespace) -> int:
+    """Whole-network compilation through the staged pipeline."""
+    import json
+
+    from .core.parser import parse_size_spec as _sizes
+    from .core.pipeline import NetworkPipeline
+
+    cogent = Cogent(
+        arch=args.arch,
+        dtype_bytes=_dtype_bytes(args),
+        top_k=args.top_k,
+        engine=getattr(args, "engine", "columnar"),
+    )
+    pipeline = NetworkPipeline(
+        cogent,
+        store=args.store_dir,
+        path_engine=args.path_engine,
+        memory_cap=args.memory_cap,
+        workers=max(1, args.workers),
+    )
+    net = pipeline.compile(args.expr, _sizes(args.sizes))
+
+    print(net.summary())
+    plan = net.memory_plan
+    print(f"arena  : {len(plan.buffer_bytes)} buffer(s): "
+          + ", ".join(f"{b} B" for b in plan.buffer_bytes))
+    if args.json:
+        payload = net.as_dict()
+        payload["arch"] = args.arch
+        payload["dtype"] = args.dtype
+        payload["store_dir"] = args.store_dir
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Regenerate the Figs. 4-8 experiment report."""
     from .evaluation.report import generate_report
@@ -911,6 +948,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="content-addressed persistent kernel store directory",
     )
     p_compile.set_defaults(func=cmd_compile)
+
+    p_network = sub.add_parser(
+        "network",
+        help="compile an n-ary contraction network through the staged "
+        "pipeline (path search, memory plan, dedup, codegen)",
+        parents=[common, run_opts, obs_opts, engine_opts],
+    )
+    p_network.add_argument(
+        "expr", help="n-ary network, e.g. 'ab,bc,cd->ad'",
+    )
+    p_network.add_argument(
+        "--sizes", help="extents, e.g. '24' or 'a=16,b=32'",
+    )
+    p_network.add_argument("--top-k", type=int, default=64)
+    p_network.add_argument(
+        "--path-engine", default="vectorized",
+        choices=("vectorized", "object"),
+        help="contraction-order DP: NumPy bitmask batches (default) or "
+        "the per-pair oracle; paths are bit-identical",
+    )
+    p_network.add_argument(
+        "--memory-cap", type=int, metavar="ELEMS",
+        help="largest intermediate (elements) the path may create",
+    )
+    p_network.add_argument(
+        "--store-dir", metavar="DIR",
+        help="content-addressed persistent kernel store directory",
+    )
+    p_network.set_defaults(func=cmd_network)
 
     # Report gets its own parent instance: set_defaults mutates the
     # shared --arch action, and report defaults to covering both GPUs

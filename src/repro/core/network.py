@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import itertools
 import math
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
@@ -82,12 +83,22 @@ class PairwiseStep:
 
 @dataclass
 class ContractionPath:
-    """An ordered sequence of pairwise contractions."""
+    """An ordered sequence of pairwise contractions.
+
+    ``peak_intermediate`` is the largest single intermediate (elements),
+    an output of the path search; ``planned_peak_bytes`` is filled in by
+    the pipeline's liveness-based memory planner
+    (:func:`repro.core.pipeline.plan_memory`) and is the total arena
+    footprint needed to hold every live intermediate at once.
+    """
 
     spec: NetworkSpec
     steps: List[PairwiseStep]
     total_flops: int
     peak_intermediate: int
+    #: Arena bytes assigned by the memory planner (``None`` until a
+    #: pipeline/planner run fills it in).
+    planned_peak_bytes: Optional[int] = None
 
     def __str__(self) -> str:
         parts = [
@@ -145,82 +156,406 @@ def _pair_contraction(
     )
 
 
-def optimal_path(spec: NetworkSpec) -> ContractionPath:
-    """Dynamic programming over tensor subsets (Θ(3^n) subsets).
+#: Path-search engines, mirroring the configuration-search ENGINES
+#: pattern: the ``vectorized`` NumPy bitmask DP is the default, the
+#: ``object`` DP is retained as a differential-testing oracle.  Both
+#: implement the identical cost and tie-break specification and return
+#: bit-identical paths.
+PATH_ENGINES: Tuple[str, ...] = ("vectorized", "object")
 
-    Minimises total FLOPs; ties break on the largest intermediate.
-    Practical for the small networks (n ≤ ~10) seen in coupled-cluster
-    expression trees.
+#: Networks wider than this (or with more distinct indices than an
+#: int64 bitmask holds) silently fall back to the object DP.
+_VEC_MAX_TENSORS = 16
+_VEC_MAX_INDICES = 62
+
+#: Relative margin for the float near-tie prefilter of the vectorized
+#: engine.  Products/sums of integer extents accumulate < 1e-14
+#: relative float64 error, so any candidate whose *exact* cost ties the
+#: winner lands inside this band; candidates inside the band are
+#: re-compared with exact integer arithmetic.
+_NEAR_TIE = 1e-9
+
+
+class _SubsetTables:
+    """Per-subset index bookkeeping shared by both path engines.
+
+    ``surviving(s)`` — the ordered indices of subset ``s`` still needed
+    outside it — used to be recomputed for every (subset, half) pair of
+    the Θ(3^n) DP inner loop; here every per-subset quantity (ordered
+    tuple, index set, element-count product) is computed once and
+    memoised, so even the object oracle does no redundant
+    O(n·|indices|) work per candidate split.
     """
-    n = len(spec.inputs)
-    sizes = spec.sizes
-    output_set = set(spec.output)
 
-    def indices_of(subset: int) -> Tuple[str, ...]:
-        """Surviving indices of a subset: needed outside it."""
+    def __init__(self, spec: NetworkSpec) -> None:
+        self.spec = spec
+        self.n = len(spec.inputs)
+        self.sizes = spec.sizes
+        self.output_set = set(spec.output)
+        self.full = (1 << self.n) - 1
+        self._surviving: Dict[int, Tuple[str, ...]] = {}
+        self._surv_set: Dict[int, FrozenSet[str]] = {}
+        self._elements: Dict[int, int] = {}
+
+    def surviving(self, subset: int) -> Tuple[str, ...]:
+        """Ordered surviving indices of ``subset`` (memoised)."""
+        cached = self._surviving.get(subset)
+        if cached is not None:
+            return cached
         inside: List[str] = []
         seen = set()
         outside: set = set()
-        for pos in range(n):
-            for idx in spec.inputs[pos]:
+        for pos in range(self.n):
+            for idx in self.spec.inputs[pos]:
                 if subset >> pos & 1:
                     if idx not in seen:
                         seen.add(idx)
                         inside.append(idx)
                 else:
                     outside.add(idx)
-        keep = output_set | outside
-        return tuple(i for i in inside if i in keep)
+        keep = self.output_set | outside
+        result = tuple(i for i in inside if i in keep)
+        self._surviving[subset] = result
+        return result
 
-    def flops_of(left: int, right: int) -> int:
-        involved = {
-            *indices_of(left), *indices_of(right)
-        }
-        return 2 * math.prod(sizes[i] for i in involved)
+    def surv_set(self, subset: int) -> FrozenSet[str]:
+        cached = self._surv_set.get(subset)
+        if cached is None:
+            cached = frozenset(self.surviving(subset))
+            self._surv_set[subset] = cached
+        return cached
 
-    full = (1 << n) - 1
-    best_cost: Dict[int, Tuple[int, int]] = {}
+    def step_flops(self, left: int, right: int) -> int:
+        """Exact FLOPs of contracting two subset intermediates."""
+        involved = self.surv_set(left) | self.surv_set(right)
+        return 2 * math.prod(self.sizes[i] for i in involved)
+
+    def elements(self, subset: int) -> int:
+        """Exact element count of the subset's intermediate (min 1)."""
+        cached = self._elements.get(subset)
+        if cached is None:
+            surv = self.surviving(subset)
+            cached = math.prod(self.sizes[i] for i in surv) if surv else 1
+            self._elements[subset] = cached
+        return cached
+
+
+def _cap_error(memory_cap: int) -> ContractionError:
+    return ContractionError(
+        f"no contraction path keeps every intermediate within the "
+        f"memory cap of {memory_cap} elements; raise the cap or drop it"
+    )
+
+
+def _optimal_split_object(
+    tables: _SubsetTables, memory_cap: Optional[int]
+) -> Tuple[Dict[int, Tuple[int, int]], int, int]:
+    """The object (oracle) DP: per-subset best splits, exact costs.
+
+    Candidate splits are ranked by the fully specified cost key
+    ``(total_flops, peak_intermediate, left_half_bitmask)`` — the third
+    component pins every remaining tie to the numerically smallest
+    canonical left half, so path choice is deterministic and identical
+    across engines (cost ties no longer depend on subset enumeration
+    order).  With ``memory_cap`` set (elements), splits whose peak
+    intermediate exceeds the cap are discarded; a subset with no
+    surviving split is infeasible and skipped by its parents.
+    """
+    full = tables.full
+    best_flops: Dict[int, int] = {}
+    best_peak: Dict[int, int] = {}
     best_split: Dict[int, Tuple[int, int]] = {}
-    for pos in range(n):
-        best_cost[1 << pos] = (0, 0)
+    for pos in range(tables.n):
+        best_flops[1 << pos] = 0
+        best_peak[1 << pos] = 0
 
     for subset in range(1, full + 1):
-        if subset in best_cost:
+        if subset in best_flops or bin(subset).count("1") < 2:
             continue
-        if bin(subset).count("1") < 2:
-            continue
-        best: Optional[Tuple[int, int]] = None
-        split: Optional[Tuple[int, int]] = None
+        inter = tables.elements(subset)
+        best: Optional[Tuple[int, int, int]] = None
         sub = (subset - 1) & subset
         while sub:
             other = subset ^ sub
             if sub < other:  # canonical halves only
-                if sub in best_cost and other in best_cost:
-                    step_flops = flops_of(sub, other)
-                    inter = math.prod(
-                        sizes[i] for i in indices_of(subset)
-                    ) if indices_of(subset) else 1
-                    cost = (
-                        best_cost[sub][0] + best_cost[other][0]
-                        + step_flops,
-                        max(best_cost[sub][1], best_cost[other][1],
-                            inter),
+                sub_flops = best_flops.get(sub)
+                other_flops = best_flops.get(other)
+                if sub_flops is not None and other_flops is not None:
+                    flops = (
+                        sub_flops + other_flops
+                        + tables.step_flops(sub, other)
                     )
-                    if best is None or cost < best:
-                        best = cost
-                        split = (sub, other)
+                    peak = max(
+                        best_peak[sub], best_peak[other], inter
+                    )
+                    if memory_cap is None or peak <= memory_cap:
+                        cand = (flops, peak, sub)
+                        if best is None or cand < best:
+                            best = cand
             sub = (sub - 1) & subset
-        if best is None or split is None:
-            raise ContractionError("network is disconnected")
-        best_cost[subset] = best
-        best_split[subset] = split
+        if best is None:
+            if subset == full:
+                if memory_cap is not None:
+                    raise _cap_error(memory_cap)
+                raise ContractionError("network is disconnected")
+            continue  # infeasible under the cap; parents skip it
+        best_flops[subset] = best[0]
+        best_peak[subset] = best[1]
+        best_split[subset] = (best[2], subset ^ best[2])
 
-    # Reconstruct the step sequence.
+    return best_split, best_flops[full], best_peak[full]
+
+
+def _optimal_split_vectorized(
+    tables: _SubsetTables, memory_cap: Optional[int]
+) -> Tuple[Dict[int, Tuple[int, int]], int, int]:
+    """NumPy bitmask batch DP, bit-identical to the object oracle.
+
+    All Θ(3^n) candidate splits are evaluated in one batch per subset
+    cardinality: subsets of k tensors each have the same ``2^k - 1``
+    half-enumeration, so their candidate FLOPs/peaks form dense
+    ``(subsets, halves)`` matrices built from precomputed per-subset
+    surviving-index bitmasks.  Winners are taken per row with a float
+    argmin; rows whose minimum is not unique beyond the float near-tie
+    margin are resolved with exact integer arithmetic under the same
+    ``(flops, peak, left_half)`` key as the oracle, so float rounding
+    can never change the chosen path.  With ``memory_cap`` set, the
+    float pass only *pre*-filters clearly infeasible candidates and the
+    survivors are selected exactly per row (the capped variant trades
+    batch speed for exactness at the cap boundary).
+    """
+    spec = tables.spec
+    n, full = tables.n, tables.full
+    letters = tuple(dict.fromkeys(
+        itertools.chain.from_iterable(spec.inputs)
+    ))
+    m = len(letters)
+    bit_of = {idx: pos for pos, idx in enumerate(letters)}
+    sizes = spec.sizes
+
+    # Per-subset index-union and surviving-index bitmasks.
+    tensor_mask = np.zeros(n, dtype=np.int64)
+    for pos, subscript in enumerate(spec.inputs):
+        mask = 0
+        for idx in subscript:
+            mask |= 1 << bit_of[idx]
+        tensor_mask[pos] = mask
+    union = np.zeros(full + 1, dtype=np.int64)
+    for s in range(1, full + 1):
+        low = (s & -s).bit_length() - 1
+        union[s] = union[s & (s - 1)] | tensor_mask[low]
+    out_mask = np.int64(0)
+    for idx in spec.output:
+        out_mask |= np.int64(1) << np.int64(bit_of[idx])
+    every = np.arange(full + 1)
+    surv = union & (out_mask | union[full ^ every])
+
+    # Float element-count products per index mask, via a log-sum table
+    # (relative error ~1e-14, far inside the near-tie margin).  For
+    # m <= 16 distinct indices the full 2^m log-product table makes the
+    # per-candidate step cost a single fancy-indexing lookup; wider
+    # networks expand candidate masks to bit matrices instead.
+    sizes_f = np.array([float(sizes[i]) for i in letters])
+    log_sizes = np.log(sizes_f)
+    shifts = np.arange(m, dtype=np.int64)
+    logp: Optional[np.ndarray] = None
+    if m <= 16:
+        logp = np.zeros(1 << m)
+        for b in range(m):
+            bit = 1 << b
+            lower = np.arange(1 << b)
+            upper_blocks = np.arange(0, 1 << m, bit << 1)
+            idx = (upper_blocks[:, None] | bit | lower[None, :]).ravel()
+            logp[idx] = logp[idx ^ bit] + log_sizes[b]
+        inter_f = np.exp(logp[surv])
+    else:
+        surv_bits = ((surv[:, None] >> shifts) & 1).astype(bool)
+        inter_f = np.where(surv_bits, sizes_f, 1.0).prod(axis=1)
+
+    flops_f = np.full(full + 1, np.inf)
+    peak_f = np.full(full + 1, np.inf)
+    best_sub = np.full(full + 1, -1, dtype=np.int64)
+    for pos in range(n):
+        single = 1 << pos
+        flops_f[single] = peak_f[single] = 0.0
+
+    # Exact integer costs are materialised *lazily*: the hot loop runs
+    # entirely on float64 (relative error « the near-tie margin), and
+    # only near-tied rows plus the final totals walk the chosen splits
+    # with exact Python-int arithmetic.
+    _prod_memo: Dict[int, int] = {}
+    flops_i: Dict[int, int] = {}
+    peak_i: Dict[int, int] = {}
+
+    def exact_prod(mask: int) -> int:
+        cached = _prod_memo.get(mask)
+        if cached is None:
+            cached = 1
+            probe = mask
+            while probe:
+                cached *= sizes[letters[(probe & -probe).bit_length() - 1]]
+                probe &= probe - 1
+            _prod_memo[mask] = cached
+        return cached
+
+    def exact_flops(subset: int) -> int:
+        cached = flops_i.get(subset)
+        if cached is None:
+            sub = int(best_sub[subset])
+            other = subset ^ sub
+            cached = (
+                exact_flops(sub) + exact_flops(other)
+                + 2 * exact_prod(int(surv[sub] | surv[other]))
+            )
+            flops_i[subset] = cached
+        return cached
+
+    def exact_peak(subset: int) -> int:
+        cached = peak_i.get(subset)
+        if cached is None:
+            sub = int(best_sub[subset])
+            other = subset ^ sub
+            cached = max(
+                exact_peak(sub), exact_peak(other),
+                exact_prod(int(surv[subset])),
+            )
+            peak_i[subset] = cached
+        return cached
+
+    for pos in range(n):
+        flops_i[1 << pos] = peak_i[1 << pos] = 0
+
+    def exact_pick(subset: int, cand_subs: np.ndarray) -> bool:
+        """Exact lexicographic winner among prefiltered candidates."""
+        best: Optional[Tuple[int, int, int]] = None
+        inter_exact = exact_prod(int(surv[subset]))
+        for sub in cand_subs.tolist():
+            other = subset ^ sub
+            flops = (
+                exact_flops(sub) + exact_flops(other)
+                + 2 * exact_prod(int(surv[sub] | surv[other]))
+            )
+            peak = max(exact_peak(sub), exact_peak(other), inter_exact)
+            if memory_cap is not None and peak > memory_cap:
+                continue
+            cand = (flops, peak, sub)
+            if best is None or cand < best:
+                best = cand
+        if best is None:
+            return False
+        best_sub[subset] = best[2]
+        flops_i[subset] = best[0]
+        peak_i[subset] = best[1]
+        flops_f[subset] = float(best[0])
+        peak_f[subset] = float(best[1])
+        return True
+
+    bit_cols = np.arange(n, dtype=np.int64)
+    all_subsets = np.arange(full + 1, dtype=np.int64)
+    all_bits = (all_subsets[:, None] >> bit_cols) & 1
+    popcounts = all_bits.sum(axis=1)
+
+    for k in range(2, n + 1):
+        subsets_k = all_subsets[popcounts == k]
+        halves = np.arange(1, 1 << k, dtype=np.int64)
+        tbits = (halves[:, None] >> np.arange(k, dtype=np.int64)) & 1
+        # Bound the per-chunk temporaries to ~4M floats.
+        per_row = max(len(halves) * (1 if logp is not None else m), 1)
+        chunk_rows = max(1, (1 << 22) // per_row)
+        for start in range(0, len(subsets_k), chunk_rows):
+            chunk = subsets_k[start:start + chunk_rows]
+            bits_n = all_bits[chunk]
+            positions = np.argsort(-bits_n, kind="stable", axis=1)[:, :k]
+            weights = np.int64(1) << positions          # (rows, k)
+            subs = weights @ tbits.T                    # (rows, halves)
+            others = chunk[:, None] - subs
+            valid = subs < others                       # canonical halves
+            cand_f = flops_f[subs] + flops_f[others]
+            valid &= np.isfinite(cand_f)
+            un = surv[subs] | surv[others]
+            if logp is not None:
+                step_f = 2.0 * np.exp(logp[un])
+            else:
+                un_bits = ((un[..., None] >> shifts) & 1).astype(bool)
+                step_f = 2.0 * np.where(un_bits, sizes_f, 1.0).prod(axis=2)
+            cand_f = cand_f + step_f
+            cand_p = np.maximum(
+                np.maximum(peak_f[subs], peak_f[others]),
+                inter_f[chunk][:, None],
+            )
+            if memory_cap is not None:
+                valid &= cand_p <= memory_cap * (1.0 + _NEAR_TIE)
+            cand_f = np.where(valid, cand_f, np.inf)
+            row_min = cand_f.min(axis=1)
+            row_arg = cand_f.argmin(axis=1)
+            near = valid & (cand_f <= row_min[:, None] * (1.0 + _NEAR_TIE))
+            near_counts = near.sum(axis=1)
+
+            # Fast path (the overwhelmingly common case): a unique
+            # float winner with no cap — commit whole rows in batch.
+            feasible = np.isfinite(row_min)
+            if memory_cap is None:
+                fast = feasible & (near_counts == 1)
+                rows = np.nonzero(fast)[0]
+                fast_subsets = chunk[rows]
+                best_sub[fast_subsets] = subs[rows, row_arg[rows]]
+                flops_f[fast_subsets] = row_min[rows]
+                peak_f[fast_subsets] = cand_p[rows, row_arg[rows]]
+                slow = np.nonzero(feasible & ~fast)[0]
+            else:
+                slow = np.nonzero(feasible)[0]
+
+            for row in slow.tolist():
+                # Exact resolution: every float-near candidate (or,
+                # under a cap, every prefiltered candidate) re-ranked
+                # with integer arithmetic.
+                subset = int(chunk[row])
+                cols = np.nonzero(
+                    valid[row] if memory_cap is not None else near[row]
+                )[0]
+                if not exact_pick(subset, subs[row, cols]):
+                    if subset == full:
+                        raise _cap_error(memory_cap)
+
+            if not feasible.all():
+                for row in np.nonzero(~feasible)[0].tolist():
+                    if int(chunk[row]) == full:
+                        if memory_cap is not None:
+                            raise _cap_error(memory_cap)
+                        raise ContractionError("network is disconnected")
+                    # else: infeasible under the cap; parents skip it
+
+    if best_sub[full] < 0:
+        # n == 1 handled by NetworkSpec; reaching here means every
+        # split of the full set was infeasible.
+        if memory_cap is not None:
+            raise _cap_error(memory_cap)
+        raise ContractionError("network is disconnected")
+
+    # Materialise the chosen split tree (n - 1 internal subsets) and
+    # its exact integer totals.
+    best_split: Dict[int, Tuple[int, int]] = {}
+    stack = [full]
+    while stack:
+        subset = stack.pop()
+        if bin(subset).count("1") < 2:
+            continue
+        sub = int(best_sub[subset])
+        best_split[subset] = (sub, subset ^ sub)
+        stack.extend((sub, subset ^ sub))
+    return best_split, exact_flops(full), exact_peak(full)
+
+
+def _emit_steps(
+    tables: _SubsetTables, best_split: Dict[int, Tuple[int, int]]
+) -> List[PairwiseStep]:
+    """Lower the chosen splits to an ordered pairwise-step sequence."""
+    spec = tables.spec
     steps: List[PairwiseStep] = []
     node_indices: Dict[int, Tuple[str, ...]] = {
-        pos: spec.inputs[pos] for pos in range(n)
+        pos: spec.inputs[pos] for pos in range(tables.n)
     }
-    next_id = n
+    next_id = tables.n
 
     def emit(subset: int) -> int:
         nonlocal next_id
@@ -229,12 +564,12 @@ def optimal_path(spec: NetworkSpec) -> ContractionPath:
         left_sub, right_sub = best_split[subset]
         left_id = emit(left_sub)
         right_id = emit(right_sub)
-        keep = frozenset(indices_of(subset))
+        keep = tables.surv_set(subset)
         contraction = _pair_contraction(
             node_indices[left_id],
             node_indices[right_id],
             keep,
-            sizes,
+            spec.sizes,
             (f"T{next_id}", f"T{left_id}", f"T{right_id}"),
         )
         node_indices[next_id] = contraction.c.indices
@@ -244,9 +579,51 @@ def optimal_path(spec: NetworkSpec) -> ContractionPath:
         next_id += 1
         return next_id - 1
 
-    emit(full)
-    total = best_cost[full][0]
-    peak = best_cost[full][1]
+    emit(tables.full)
+    return steps
+
+
+def optimal_path(
+    spec: NetworkSpec,
+    engine: str = "vectorized",
+    memory_cap: Optional[int] = None,
+) -> ContractionPath:
+    """Optimal pairwise contraction order over tensor subsets.
+
+    Dynamic programming over the Θ(3^n) (subset, half) pairs, minimising
+    the fully specified key ``(total_flops, peak_intermediate,
+    left_half_bitmask)`` — the last component makes tie-breaking
+    deterministic and engine-independent.  ``engine="vectorized"``
+    (default) evaluates candidate splits as NumPy bitmask batches with
+    exact integer resolution of near-ties; ``engine="object"`` is the
+    per-pair oracle retained for differential testing.  Both return
+    bit-identical paths (same steps, FLOPs and peak totals).
+
+    ``memory_cap`` (elements) discards any split whose largest
+    intermediate exceeds the cap and raises :class:`ContractionError`
+    when no path fits.  The capped DP filters on each subset's *chosen*
+    sub-path peak (not a full Pareto front), so it may conservatively
+    reject networks where only a FLOP-suboptimal sub-path would fit.
+    """
+    if engine not in PATH_ENGINES:
+        raise ValueError(
+            f"unknown path engine {engine!r}; choose from {PATH_ENGINES}"
+        )
+    tables = _SubsetTables(spec)
+    n_letters = len(set(itertools.chain.from_iterable(spec.inputs)))
+    if engine == "vectorized" and (
+        tables.n > _VEC_MAX_TENSORS or n_letters > _VEC_MAX_INDICES
+    ):
+        engine = "object"  # bitmask tables would not fit; same results
+    if engine == "vectorized":
+        best_split, total, peak = _optimal_split_vectorized(
+            tables, memory_cap
+        )
+    else:
+        best_split, total, peak = _optimal_split_object(
+            tables, memory_cap
+        )
+    steps = _emit_steps(tables, best_split)
     return ContractionPath(spec, steps, total, peak)
 
 
@@ -259,6 +636,15 @@ class NetworkContractor:
     same shape — share a single search, and ``store`` (a
     :class:`~repro.core.program.KernelStore` or directory path) lets
     repeat runs across processes skip the search entirely.
+
+    The contractor also carries the pipeline's scheduling artifacts:
+    ``schedule`` (topological levels; independent same-level steps run
+    on a thread pool when ``workers > 1``, with a deterministic merge —
+    every step writes a distinct node slot) and ``memory_plan``
+    (liveness-based buffer arena; intermediates whose last use has
+    passed are dropped at each level boundary).  Both are computed on
+    demand when not supplied by a :class:`~repro.core.pipeline.
+    NetworkPipeline`.
     """
 
     def __init__(
@@ -267,37 +653,90 @@ class NetworkContractor:
         generator: Optional[Cogent] = None,
         path: Optional[ContractionPath] = None,
         store=None,
+        *,
+        session=None,
+        program=None,
+        schedule=None,
+        memory_plan=None,
+        workers: int = 1,
+        path_engine: str = "vectorized",
+        memory_cap: Optional[int] = None,
     ) -> None:
+        from .pipeline import (
+            ContractionDAG, compute_schedule, plan_memory,
+        )
         from .program import CompilationSession
 
         self.spec = spec
         self.generator = generator or Cogent()
-        self.path = path or optimal_path(spec)
-        session = CompilationSession(self.generator, store=store)
-        program = session.compile(
-            [step.contraction for step in self.path.steps],
-            kernel_names=[
-                f"net_step{i}" for i in range(len(self.path.steps))
-            ],
+        self.path = path or optimal_path(
+            spec, engine=path_engine, memory_cap=memory_cap
         )
+        self.workers = max(1, int(workers))
+        if program is None:
+            if session is None:
+                session = CompilationSession(self.generator, store=store)
+            program = session.compile(
+                [step.contraction for step in self.path.steps],
+                kernel_names=[
+                    f"net_step{i}" for i in range(len(self.path.steps))
+                ],
+            )
         self.program = program
         self.kernels: List[GeneratedKernel] = list(program.kernels)
+        dag = ContractionDAG.from_path(self.path)
+        self.schedule = schedule or compute_schedule(dag)
+        self.memory_plan = memory_plan or plan_memory(
+            dag, self.schedule, dtype_bytes=self.generator.dtype_bytes
+        )
+        self.path.planned_peak_bytes = self.memory_plan.planned_peak_bytes
 
     # -- execution --------------------------------------------------------
 
     def execute(self, *operands: np.ndarray) -> np.ndarray:
-        """Run every pairwise kernel schedule in path order."""
+        """Run the pairwise kernels level by level.
+
+        Independent steps within one topological level execute on a
+        thread pool when the contractor was built with ``workers > 1``
+        (numpy kernels release the GIL in their inner BLAS/einsum
+        calls).  Results are merged deterministically — each step owns a
+        distinct result node — so the output is bit-identical to the
+        serial path-order execution.  Intermediates are freed at level
+        boundaries once their last consumer has run, realising the
+        memory plan's liveness analysis.
+        """
         if len(operands) != len(self.spec.inputs):
             raise ValueError(
                 f"expected {len(self.spec.inputs)} operands, got "
                 f"{len(operands)}"
             )
         values: Dict[int, np.ndarray] = dict(enumerate(operands))
-        for step, kernel in zip(self.path.steps, self.kernels):
-            values[step.result] = kernel.execute(
+        last_use = self.schedule.last_use
+        result_node = self.path.steps[-1].result
+
+        def run_step(index: int) -> Tuple[int, np.ndarray]:
+            step = self.path.steps[index]
+            return step.result, self.kernels[index].execute(
                 values[step.left], values[step.right]
             )
-        result = values[self.path.steps[-1].result]
+
+        for level, step_ids in enumerate(self.schedule.levels, start=1):
+            if self.workers > 1 and len(step_ids) > 1:
+                with ThreadPoolExecutor(
+                    max_workers=min(self.workers, len(step_ids))
+                ) as pool:
+                    for node, value in pool.map(run_step, step_ids):
+                        values[node] = value
+            else:
+                for index in step_ids:
+                    node, value = run_step(index)
+                    values[node] = value
+            # Liveness: drop intermediates whose last consumer has run.
+            for node in list(values):
+                if node != result_node and last_use.get(node, 0) <= level:
+                    del values[node]
+
+        result = values[result_node]
         final_indices = self.path.steps[-1].contraction.c.indices
         if final_indices != self.spec.output:
             perm = tuple(
@@ -307,10 +746,15 @@ class NetworkContractor:
         return result
 
     def reference(self, *operands: np.ndarray) -> np.ndarray:
-        """numpy.einsum over the whole network (oracle)."""
+        """numpy.einsum over the whole network (oracle).
+
+        ``optimize=True`` lets einsum pick its own pairwise order —
+        without it an n-operand einsum iterates the full joint index
+        space, which is intractable for chains past a few tensors.
+        """
         subs = ",".join("".join(t) for t in self.spec.inputs)
         return np.einsum(f"{subs}->{''.join(self.spec.output)}",
-                         *operands)
+                         *operands, optimize=True)
 
     # -- prediction --------------------------------------------------------------
 
@@ -324,6 +768,7 @@ class NetworkContractor:
         return total
 
     def summary(self) -> str:
+        plan = self.memory_plan
         lines = [
             f"network: "
             + ",".join("".join(t) for t in self.spec.inputs)
@@ -331,6 +776,12 @@ class NetworkContractor:
             f"path   : {self.path}",
             f"flops  : {self.path.total_flops / 1e6:.3f} MFLOP total, "
             f"peak intermediate {self.path.peak_intermediate} elements",
+            f"sched  : {len(self.schedule.levels)} levels, "
+            f"max width {self.schedule.width}, {self.workers} workers",
+            f"memory : {plan.planned_peak_bytes} B arena "
+            f"({len(plan.buffer_bytes)} buffers) vs "
+            f"{plan.naive_peak_bytes} B allocate-per-step "
+            f"({plan.reduction:.2f}x)",
             f"time   : {self.predicted_time_s() * 1e6:.1f} us predicted "
             f"on {self.generator.arch.name}",
         ]

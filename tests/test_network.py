@@ -210,3 +210,168 @@ class TestExecution:
         nc = NetworkContractor(spec, gen)
         assert nc.predicted_time_s() > 0
         assert "network" in nc.summary()
+
+
+def _path_key(path):
+    return (
+        path.total_flops,
+        path.peak_intermediate,
+        tuple(
+            (s.left, s.right, s.result, s.contraction.c.indices)
+            for s in path.steps
+        ),
+    )
+
+
+class TestPathEngineParity:
+    """The vectorized bitmask DP must be bit-identical to the oracle."""
+
+    NETWORKS = [
+        ("ab,bc,cd->ad", {"a": 8, "b": 512, "c": 4, "d": 8}),
+        ("ab,bc,cd->ad", {"a": 8, "b": 4, "c": 512, "d": 8}),
+        ("ab,bc,cd,de->ae", {"a": 2, "b": 2, "c": 3, "d": 6, "e": 3}),
+        ("ab,bc,cd,de->ae", {"a": 16, "b": 512, "c": 8, "d": 256,
+                             "e": 16}),
+        ("abk,kcl,ld->abcd", 6),
+        ("a,b->ab", {"a": 4, "b": 5}),
+        ("ab,bc,cd,de,ef,fg->ag", {"a": 128, "b": 16, "c": 32,
+                                   "d": 64, "e": 128, "f": 256,
+                                   "g": 2}),
+        # Tucker-style core + factor matrices.
+        ("abc,ai,bj,ck->ijk", {"a": 6, "b": 7, "c": 8, "i": 3,
+                               "j": 4, "k": 5}),
+        # All-equal extents: every split ties on FLOPs.
+        ("ab,bc,cd,de,ef->af", 4),
+    ]
+
+    @pytest.mark.parametrize("expr,sizes", NETWORKS)
+    def test_engines_bit_identical(self, expr, sizes):
+        spec = parse_network(expr, sizes)
+        vec = optimal_path(spec, engine="vectorized")
+        obj = optimal_path(spec, engine="object")
+        assert _path_key(vec) == _path_key(obj)
+
+    def test_randomized_parity_battery(self):
+        import random
+
+        random.seed(20260808)
+        checked = 0
+        for trial in range(40):
+            n = random.randint(2, 7)
+            letters = [chr(ord("a") + i) for i in range(n + 1)]
+            expr = ",".join(
+                letters[i] + letters[i + 1] for i in range(n)
+            ) + f"->{letters[0]}{letters[n]}"
+            sizes = {l: random.randint(2, 9) for l in letters}
+            spec = parse_network(expr, sizes)
+            try:
+                obj = optimal_path(spec, engine="object")
+            except ContractionError:
+                with pytest.raises(ContractionError):
+                    optimal_path(spec, engine="vectorized")
+                continue
+            vec = optimal_path(spec, engine="vectorized")
+            assert _path_key(vec) == _path_key(obj)
+            checked += 1
+        assert checked >= 20
+
+    def test_unknown_engine_rejected(self):
+        spec = parse_network("ab,bc->ac", 4)
+        with pytest.raises(ValueError, match="path engine"):
+            optimal_path(spec, engine="columnar")
+
+    def test_tie_break_pinned(self):
+        # Fully specified tie-breaking: among (flops, peak)-tied splits
+        # the engines take the numerically smallest canonical left-half
+        # bitmask.  An all-equal-extent chain ties everywhere; the
+        # resulting step sequence is pinned here so any future change
+        # to the rule is a visible, deliberate one.
+        # The smallest canonical left half of the full set is {0}, so
+        # the tree splits {0} | {1,2,3} and recursion emits the right
+        # subtree innermost-first.
+        spec = parse_network("ab,bc,cd,de->ae", 4)
+        for engine in ("vectorized", "object"):
+            path = optimal_path(spec, engine=engine)
+            assert [
+                (s.left, s.right, s.result) for s in path.steps
+            ] == [(2, 3, 4), (1, 4, 5), (0, 5, 6)]
+
+
+class TestMemoryCap:
+    SIZES = {"a": 16, "b": 512, "c": 8, "d": 256, "e": 16}
+
+    def test_cap_at_peak_keeps_path(self):
+        spec = parse_network("ab,bc,cd,de->ae", self.SIZES)
+        base = optimal_path(spec)
+        capped = optimal_path(spec, memory_cap=base.peak_intermediate)
+        assert _path_key(capped) == _path_key(base)
+
+    def test_cap_below_feasible_raises(self):
+        spec = parse_network("ab,bc,cd,de->ae", self.SIZES)
+        base = optimal_path(spec)
+        for engine in ("vectorized", "object"):
+            with pytest.raises(ContractionError, match="memory cap"):
+                optimal_path(
+                    spec, engine=engine,
+                    memory_cap=base.peak_intermediate - 1,
+                )
+
+    def test_cap_steers_to_smaller_peak_path(self):
+        # The 7200-FLOP optimum contracts (ab,bc) first, peaking at
+        # a*c = 100 elements; a 10296-FLOP plan contracting (bc,cd)
+        # first peaks at b*d = 99.  Capping at 99 must find it,
+        # identically per engine.
+        sizes = {"a": 2, "b": 33, "c": 50, "d": 3}
+        spec = parse_network("ab,bc,cd->ad", sizes)
+        base = optimal_path(spec)
+        assert base.total_flops == 7200
+        assert base.peak_intermediate == 100
+        capped_vec = optimal_path(
+            spec, engine="vectorized", memory_cap=99
+        )
+        capped_obj = optimal_path(spec, engine="object", memory_cap=99)
+        assert _path_key(capped_vec) == _path_key(capped_obj)
+        assert capped_vec.peak_intermediate == 99
+        assert capped_vec.total_flops == 10296
+
+    def test_capped_path_still_executes_correctly(self, gen):
+        sizes = {"a": 2, "b": 33, "c": 50, "d": 3}
+        spec = parse_network("ab,bc,cd->ad", sizes)
+        path = optimal_path(spec, memory_cap=99)
+        nc = NetworkContractor(spec, gen, path=path)
+        rng = np.random.default_rng(5)
+        ops = [
+            rng.random((2, 33)), rng.random((33, 50)),
+            rng.random((50, 3)),
+        ]
+        assert np.allclose(nc.execute(*ops), ops[0] @ ops[1] @ ops[2])
+
+
+class TestDegenerateNetworks:
+    def test_hyperedge_index_rejected_as_batch(self):
+        # An index shared by >= 3 tensors survives every pairwise step
+        # it touches, so some step sees it in all three tensors — a
+        # batch dimension the binary kernel template rejects.  Both
+        # engines must agree.
+        spec = parse_network("ab,ac,ad->bcd", 4)
+        for engine in ("vectorized", "object"):
+            with pytest.raises(ContractionError, match="batch"):
+                optimal_path(spec, engine=engine)
+
+    def test_disconnected_index_rejected(self):
+        # 'c'/'d' appear once and not in the output: no valid
+        # contraction structure, rejected identically by both engines.
+        spec = parse_network("ab,cd->ab", 4)
+        for engine in ("vectorized", "object"):
+            with pytest.raises(ContractionError, match="exactly two"):
+                optimal_path(spec, engine=engine)
+
+    def test_planned_peak_recorded_on_path(self, gen):
+        spec = parse_network("ab,bc,cd->ad", 8)
+        nc = NetworkContractor(spec, gen)
+        assert nc.path.planned_peak_bytes is not None
+        assert nc.path.planned_peak_bytes >= 0
+        assert (
+            nc.path.planned_peak_bytes
+            == nc.memory_plan.planned_peak_bytes
+        )
