@@ -39,7 +39,7 @@ def generator():
 def test_codegen_time(benchmark, generator, name):
     contraction = get(name).contraction()
     kernel = benchmark(generator.generate, contraction)
-    assert kernel.cuda_source
+    assert kernel.source("cuda")
     # A full TC tuning session at paper scale evaluates 2000 versions.
     tc_tuning_time = 2000 * DEFAULT_EVAL_OVERHEAD_S
     print(f"\n{name}: COGENT generation {kernel.generation_time_s:.2f} s "

@@ -48,7 +48,7 @@ def main() -> None:
             )
 
         ok = np.allclose(got, want)
-        n_lines = len(kernel.c_emulation_source().splitlines())
+        n_lines = len(kernel.source("cemu").splitlines())
         split = (
             f", split {kernel.split_specs[0]}" if kernel.split_specs else ""
         )

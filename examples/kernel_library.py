@@ -53,7 +53,7 @@ def main() -> None:
           f"{kernels} kernels + select_version() dispatcher")
     print()
 
-    opencl = library.entries[0].kernel.opencl_source()
+    opencl = library.entries[0].kernel.source("opencl")
     print("--- OpenCL backend (first 12 lines) ---")
     print("\n".join(opencl.splitlines()[:12]))
     print(f"--- ({len(opencl.splitlines())} lines total) ---")

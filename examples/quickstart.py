@@ -49,7 +49,7 @@ def main() -> None:
     print()
 
     # 4. Emit CUDA.
-    source = kernel.cuda_source
+    source = kernel.source("cuda")
     print("--- generated CUDA (first 25 lines) ---")
     print("\n".join(source.splitlines()[:25]))
     print(f"--- ({len(source.splitlines())} lines total) ---")

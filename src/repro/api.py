@@ -116,6 +116,12 @@ class Options:
         network contraction path may create; paths that cannot fit
         raise :class:`~repro.core.ir.ContractionError`.  ``None`` (the
         default) means unbounded.
+    target:
+        Codegen target for emitted kernels: any name registered in
+        :func:`repro.core.codegen.list_targets` (``"cuda"`` is the
+        default; ``"opencl"``, ``"cemu"``, ``"clemu"``, ``"openmp"``
+        are built in).  Folded into store keys, so a kernel cached for
+        one target never satisfies another.
     """
 
     workers: int = 1
@@ -129,6 +135,7 @@ class Options:
     strategy: str = "direct"
     path_engine: str = "vectorized"
     memory_cap: Optional[int] = None
+    target: str = "cuda"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -167,6 +174,13 @@ class Options:
         if self.memory_cap is not None and self.memory_cap < 1:
             raise ValueError(
                 f"memory_cap must be >= 1 element, got {self.memory_cap}"
+            )
+        from .core.codegen import list_targets
+
+        if self.target not in list_targets():
+            raise ValueError(
+                f"target must be one of {list_targets()}, "
+                f"got {self.target!r}"
             )
 
     @property
@@ -214,6 +228,7 @@ def _generator(options: Options) -> Cogent:
         top_k=options.top_k,
         engine=options.engine,
         strategy=options.strategy,
+        target=options.target,
     )
     # Attribute assignment, not the constructor keyword: the keyword is
     # the deprecated spelling this facade replaces.

@@ -68,7 +68,10 @@ from .tccg import all_benchmarks, by_group, get
 
 
 def _common_parent() -> argparse.ArgumentParser:
-    """Shared ``--arch``/``--dtype`` flags (identical on every command)."""
+    """Shared ``--arch``/``--dtype``/``--target`` flags (identical on
+    every command)."""
+    from .core.codegen import list_targets
+
     p = argparse.ArgumentParser(add_help=False)
     p.add_argument(
         "--arch", default="V100", choices=sorted(ARCHS),
@@ -77,6 +80,10 @@ def _common_parent() -> argparse.ArgumentParser:
     p.add_argument(
         "--dtype", default="double", choices=("double", "float"),
         help="element type (default double)",
+    )
+    p.add_argument(
+        "--target", default=None, choices=list_targets(),
+        help="codegen target for emitted kernels (default cuda)",
     )
     return p
 
@@ -178,7 +185,8 @@ def _make_generator(args: argparse.Namespace, **extra) -> Cogent:
     """Build a Cogent from normalized CLI flags (no deprecated kwargs)."""
     cogent = Cogent(
         arch=args.arch, dtype_bytes=_dtype_bytes(args),
-        engine=getattr(args, "engine", "columnar"), **extra
+        engine=getattr(args, "engine", "columnar"),
+        target=getattr(args, "target", None) or "cuda", **extra
     )
     cogent.workers = max(1, getattr(args, "workers", 1))
     return cogent
@@ -198,14 +206,16 @@ def cmd_gen(args: argparse.Namespace) -> int:
         )
     else:
         kernel = cogent.generate(contraction)
-    if args.emit == "cuda":
-        source = kernel.cuda_source
+    # --target selects a registered backend directly; the legacy --emit
+    # spellings map onto the same registry names ("driver" = the cuda
+    # host driver).
+    if args.target:
+        source = kernel.driver_source(args.target) if args.emit == "driver" \
+            else kernel.source(args.target)
     elif args.emit == "driver":
-        source = kernel.cuda_driver_source()
-    elif args.emit == "opencl":
-        source = kernel.opencl_source()
+        source = kernel.driver_source("cuda")
     else:
-        source = kernel.c_emulation_source()
+        source = kernel.source(args.emit)
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(source)
@@ -844,7 +854,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_verify.add_argument("expr", help="expression or TCCG name")
     p_verify.add_argument("--sizes")
     p_verify.add_argument(
-        "--checks", help="comma list: plan,cemu,opencl,trace"
+        "--checks", help="comma list: plan,cemu,opencl,openmp,trace"
     )
     p_verify.add_argument(
         "--max-extent", type=int, default=10,

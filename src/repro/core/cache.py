@@ -221,7 +221,7 @@ def contract(
     The expression may use any supported syntax; the operand shapes
     bind the index extents.  The generated kernel's schedule is
     executed numerically (the validation path) — on a real GPU the same
-    call would launch ``kernel.cuda_source``.
+    call would launch ``kernel.source("cuda")``.
 
     >>> import numpy as np
     >>> a = np.random.rand(8, 5); b = np.random.rand(5, 9)
@@ -331,5 +331,5 @@ def _rebind_kernel(
         split_specs=tuple(split_specs),
         merge_specs=tuple(merge_specs),
         kernel_name=kernel_name or kernel.kernel_name,
-        _cuda_source=None,
+        _sources={},
     )

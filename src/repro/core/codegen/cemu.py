@@ -15,16 +15,22 @@ pycuda/cupy on real hardware (see DESIGN.md, substitution table).
 
 from __future__ import annotations
 
-import subprocess
-import tempfile
 from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
 
+from ...deprecation import warn_deprecated
 from ..plan import KernelPlan
 from . import indexing as ix
-from .cuda import scalar_type
+from .chost import (
+    EmulationError,
+    compile_and_run_source,
+    host_main_function,
+    scalar_type,
+    serial_stage_loops,
+)
+from .registry import CodegenTarget, register_target
 
 
 def _kernel_function(plan: KernelPlan, name: str) -> List[str]:
@@ -74,48 +80,11 @@ def _kernel_function(plan: KernelPlan, name: str) -> List[str]:
     step_body += ix.decompose_offsets(
         "step_", plan.step_axes, ix.step_offset_var, "sid_"
     )
+    # Mirror the CUDA backend's staging (scalar lanes for the vector
+    # grouping) so the group/lane addressing is exercised by the
+    # compiled emulation as well.
     for tensor, buffer in ((a, "s_a"), (b, "s_b")):
-        frag = ix.TileLoadFragment(plan, tensor)
-        inner, addr, bounds, smem_idx = frag.body("l_")
-        n_elems = plan.tile_elements(tensor)
-        width = plan.staging_vector_width(tensor)
-        if width == 1:
-            step_body.append(
-                f"for (long l_ = 0; l_ < {n_elems}; ++l_) {{"
-            )
-            step_body += ix.indent(inner, 1)
-            step_body += ix.indent(
-                [
-                    f"{buffer}[{smem_idx}] = ({bounds})"
-                    f" ? g_{tensor.name}[{addr}] : ({scalar})0;",
-                ],
-                1,
-            )
-            step_body.append("}")
-            continue
-        # Mirror the CUDA backend's vector grouping (scalar lanes here)
-        # so the group/lane addressing is exercised by the compiled
-        # emulation as well.
-        lane_stride = plan.smem_lane_stride(tensor)
-        step_body.append(
-            f"for (long l_ = 0; l_ < {n_elems}; l_ += {width}) {{"
-        )
-        step_body += ix.indent(inner, 1)
-        grouped = [f"if ({bounds}) {{"]
-        for lane in range(width):
-            grouped.append(
-                f"    {buffer}[({smem_idx}) + {lane * lane_stride}]"
-                f" = g_{tensor.name}[({addr}) + {lane}];"
-            )
-        grouped.append("} else {")
-        for lane in range(width):
-            grouped.append(
-                f"    {buffer}[({smem_idx}) + {lane * lane_stride}]"
-                f" = ({scalar})0;"
-            )
-        grouped.append("}")
-        step_body += ix.indent(grouped, 1)
-        step_body.append("}")
+        step_body += serial_stage_loops(plan, tensor, buffer, scalar)
     btx = plan.config.block_tile_x
     bty = plan.config.block_tile_y
     step_body += [
@@ -173,66 +142,7 @@ def _kernel_function(plan: KernelPlan, name: str) -> List[str]:
     return lines
 
 
-def _main_function(plan: KernelPlan, kernel_name: str) -> List[str]:
-    scalar = scalar_type(plan.dtype_bytes)
-    contraction = plan.contraction
-    indices = contraction.all_indices
-    c, a, b = contraction.c, contraction.a, contraction.b
-
-    def count_expr(tensor) -> str:
-        return " * ".join(
-            f"(long){ix.extent_param(i)}" for i in tensor.indices
-        )
-
-    lines = [
-        "int main(int argc, char** argv)",
-        "{",
-        f"    if (argc != {len(indices) + 4}) {{",
-        '        fprintf(stderr, "usage: %s '
-        + " ".join(f"n_{i}" for i in indices)
-        + ' A.bin B.bin C.bin\\n", argv[0]);',
-        "        return 1;",
-        "    }",
-    ]
-    for pos, index in enumerate(indices, start=1):
-        lines.append(
-            f"    const int {ix.extent_param(index)} = atoi(argv[{pos}]);"
-        )
-    base = len(indices)
-    lines += [
-        f"    const long elems_a = {count_expr(a)};",
-        f"    const long elems_b = {count_expr(b)};",
-        f"    const long elems_c = {count_expr(c)};",
-        f"    {scalar}* A_ = ({scalar}*)malloc(sizeof({scalar}) * elems_a);",
-        f"    {scalar}* B_ = ({scalar}*)malloc(sizeof({scalar}) * elems_b);",
-        f"    {scalar}* C_ = ({scalar}*)calloc(elems_c, sizeof({scalar}));",
-        "    if (!A_ || !B_ || !C_) return 2;",
-        f'    FILE* fa = fopen(argv[{base + 1}], "rb");',
-        f'    FILE* fb = fopen(argv[{base + 2}], "rb");',
-        "    if (!fa || !fb) return 3;",
-        f"    if (fread(A_, sizeof({scalar}), elems_a, fa)"
-        " != (size_t)elems_a) return 4;",
-        f"    if (fread(B_, sizeof({scalar}), elems_b, fb)"
-        " != (size_t)elems_b) return 4;",
-        "    fclose(fa); fclose(fb);",
-        f"    {kernel_name}(C_, A_, B_, "
-        + ", ".join(ix.extent_param(i) for i in indices)
-        + ");",
-        f'    FILE* fc = fopen(argv[{base + 3}], "wb");',
-        "    if (!fc) return 5;",
-        f"    if (fwrite(C_, sizeof({scalar}), elems_c, fc)"
-        " != (size_t)elems_c) return 6;",
-        "    fclose(fc);",
-        "    free(A_); free(B_); free(C_);",
-        "    return 0;",
-        "}",
-    ]
-    return lines
-
-
-def generate_c_emulation(
-    plan: KernelPlan, kernel_name: str = "tc_kernel_emu"
-) -> str:
+def _emit_program(plan: KernelPlan, kernel_name: str = "tc_kernel_emu") -> str:
     """Emit a standalone C program emulating the kernel plan."""
     lines = [
         "/* Generated by COGENT-repro: sequential C emulation of the",
@@ -246,12 +156,19 @@ def generate_c_emulation(
     ]
     lines += _kernel_function(plan, kernel_name)
     lines.append("")
-    lines += _main_function(plan, kernel_name)
+    lines += host_main_function(plan, kernel_name)
     return "\n".join(lines) + "\n"
 
 
-class EmulationError(RuntimeError):
-    """Raised when compiling or running the emulation program fails."""
+def generate_c_emulation(
+    plan: KernelPlan, kernel_name: str = "tc_kernel_emu"
+) -> str:
+    """Deprecated alias for the registered ``cemu`` target's emitter."""
+    warn_deprecated(
+        "repro.core.codegen.cemu.generate_c_emulation",
+        'get_target("cemu").emit_kernel or Kernel.source("cemu")',
+    )
+    return _emit_program(plan, kernel_name)
 
 
 def compile_and_run(
@@ -269,45 +186,35 @@ def compile_and_run(
     are written in Fortran order and the result is read back the same
     way.
     """
-    contraction = plan.contraction
-    scalar = np.float64 if plan.dtype_bytes == 8 else np.float32
-    a = np.asarray(a, dtype=scalar)
-    b = np.asarray(b, dtype=scalar)
-
-    tmpdir = Path(tempfile.mkdtemp(prefix="cogent_emu_")) if workdir is None \
-        else Path(workdir)
-    tmpdir.mkdir(parents=True, exist_ok=True)
-    src = tmpdir / "kernel_emu.c"
-    exe = tmpdir / "kernel_emu"
-    a_path, b_path, c_path = (
-        tmpdir / "A.bin", tmpdir / "B.bin", tmpdir / "C.bin"
+    return compile_and_run_source(
+        plan, _emit_program(plan), a, b,
+        cc=cc,
+        cflags=("-O2", "-std=c99"),
+        workdir=workdir,
+        keep_files=keep_files,
+        stem="kernel_emu",
+        workdir_prefix="cogent_emu_",
     )
-    src.write_text(generate_c_emulation(plan))
-    compile_cmd = [cc, "-O2", "-std=c99", "-o", str(exe), str(src)]
-    proc = subprocess.run(
-        compile_cmd, capture_output=True, text=True
-    )
-    if proc.returncode != 0:
-        raise EmulationError(
-            f"compilation failed:\n{proc.stderr}\n--- source ---\n"
-            + src.read_text()
-        )
 
-    a.T.ravel(order="C").tofile(a_path)  # first index fastest
-    b.T.ravel(order="C").tofile(b_path)
-    extents = [str(contraction.extent(i)) for i in contraction.all_indices]
-    run_cmd = [str(exe), *extents, str(a_path), str(b_path), str(c_path)]
-    proc = subprocess.run(run_cmd, capture_output=True, text=True)
-    if proc.returncode != 0:
-        raise EmulationError(
-            f"emulation run failed (rc={proc.returncode}): {proc.stderr}"
-        )
-    flat = np.fromfile(c_path, dtype=scalar)
-    shape = contraction.extents_of(contraction.c)
-    result = flat.reshape(tuple(reversed(shape))).T
-    if not keep_files:
-        for path in (src, exe, a_path, b_path, c_path):
-            path.unlink(missing_ok=True)
-        if workdir is None:
-            tmpdir.rmdir()
-    return np.ascontiguousarray(result)
+
+@register_target
+class CemuTarget(CodegenTarget):
+    """Sequential C emulation of the CUDA execution model (the offline
+    correctness oracle for the four-phase schema)."""
+
+    name = "cemu"
+    can_execute = True
+    source_suffix = ".c"
+
+    def emit_kernel(
+        self, plan: KernelPlan, kernel_name: str = "tc_kernel"
+    ) -> str:
+        # Historical convention: the emulated symbol is the kernel name
+        # with an ``_emu`` suffix, so emitted text matches the old
+        # ``Kernel.c_emulation_source()`` byte for byte.
+        return _emit_program(plan, kernel_name + "_emu")
+
+    def _compile_and_run(
+        self, plan: KernelPlan, a: np.ndarray, b: np.ndarray, **kwargs
+    ) -> np.ndarray:
+        return compile_and_run(plan, a, b, **kwargs)

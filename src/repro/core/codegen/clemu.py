@@ -20,8 +20,6 @@ environment).
 
 from __future__ import annotations
 
-import subprocess
-import tempfile
 from pathlib import Path
 from typing import List, Optional
 
@@ -29,9 +27,9 @@ import numpy as np
 
 from ..plan import KernelPlan
 from . import indexing as ix
-from .cemu import EmulationError
-from .cuda import scalar_type
-from .opencl import generate_opencl_kernel
+from .chost import EmulationError, compile_and_run_source, scalar_type
+from .opencl import _emit_kernel as _emit_opencl_kernel
+from .registry import CodegenTarget, register_target
 
 _SHIM = """\
 #include <pthread.h>
@@ -63,7 +61,7 @@ def generate_opencl_harness(
     indices = contraction.all_indices
     c, a, b = contraction.c, contraction.a, contraction.b
 
-    kernel_src = generate_opencl_kernel(plan, kernel_name)
+    kernel_src = _emit_opencl_kernel(plan, kernel_name)
     # The fp64 pragma is an OpenCL-ism; drop it for the C compiler.
     kernel_src = "\n".join(
         line for line in kernel_src.splitlines()
@@ -171,44 +169,31 @@ def compile_and_run_opencl(
     workdir: Optional[Path] = None,
 ) -> np.ndarray:
     """Compile the pthread harness around the OpenCL kernel and run it."""
-    contraction = plan.contraction
-    scalar = np.float64 if plan.dtype_bytes == 8 else np.float32
-    a = np.asarray(a, dtype=scalar)
-    b = np.asarray(b, dtype=scalar)
+    return compile_and_run_source(
+        plan, generate_opencl_harness(plan), a, b,
+        cc=cc,
+        cflags=("-O2", "-std=gnu99", "-pthread"),
+        workdir=workdir,
+        stem="kernel_cl_emu",
+        workdir_prefix="cogent_clemu_",
+    )
 
-    tmpdir = Path(tempfile.mkdtemp(prefix="cogent_clemu_")) \
-        if workdir is None else Path(workdir)
-    tmpdir.mkdir(parents=True, exist_ok=True)
-    src = tmpdir / "kernel_cl_emu.c"
-    exe = tmpdir / "kernel_cl_emu"
-    a_path, b_path, c_path = (
-        tmpdir / "A.bin", tmpdir / "B.bin", tmpdir / "C.bin"
-    )
-    src.write_text(generate_opencl_harness(plan))
-    proc = subprocess.run(
-        [cc, "-O2", "-std=gnu99", "-pthread", "-o", str(exe), str(src)],
-        capture_output=True, text=True,
-    )
-    if proc.returncode != 0:
-        raise EmulationError(
-            f"OpenCL-harness compilation failed:\n{proc.stderr}"
-        )
-    a.T.ravel(order="C").tofile(a_path)
-    b.T.ravel(order="C").tofile(b_path)
-    extents = [str(contraction.extent(i)) for i in contraction.all_indices]
-    proc = subprocess.run(
-        [str(exe), *extents, str(a_path), str(b_path), str(c_path)],
-        capture_output=True, text=True,
-    )
-    if proc.returncode != 0:
-        raise EmulationError(
-            f"OpenCL-harness run failed (rc={proc.returncode})"
-        )
-    flat = np.fromfile(c_path, dtype=scalar)
-    shape = contraction.extents_of(contraction.c)
-    result = flat.reshape(tuple(reversed(shape))).T
-    for path in (src, exe, a_path, b_path, c_path):
-        path.unlink(missing_ok=True)
-    if workdir is None:
-        tmpdir.rmdir()
-    return np.ascontiguousarray(result)
+
+@register_target
+class ClemuTarget(CodegenTarget):
+    """OpenCL-on-CPU: the real OpenCL kernel text compiled under a
+    pthread work-group harness (one thread per work-item)."""
+
+    name = "clemu"
+    can_execute = True
+    source_suffix = ".c"
+
+    def emit_kernel(
+        self, plan: KernelPlan, kernel_name: str = "tc_kernel"
+    ) -> str:
+        return generate_opencl_harness(plan, kernel_name)
+
+    def _compile_and_run(
+        self, plan: KernelPlan, a: np.ndarray, b: np.ndarray, **kwargs
+    ) -> np.ndarray:
+        return compile_and_run_opencl(plan, a, b, **kwargs)

@@ -12,14 +12,13 @@ from __future__ import annotations
 
 from typing import List
 
+from ...deprecation import warn_deprecated
 from ..plan import KernelPlan
 from . import indexing as ix
-from .cuda import generate_cuda_kernel, scalar_type
+from .cuda import _emit_kernel, scalar_type
 
 
-def generate_cuda_driver(
-    plan: KernelPlan, kernel_name: str = "tc_kernel"
-) -> str:
+def _emit_driver(plan: KernelPlan, kernel_name: str = "tc_kernel") -> str:
     """Emit a standalone ``.cu`` translation unit: kernel + host main."""
     scalar = scalar_type(plan.dtype_bytes)
     contraction = plan.contraction
@@ -42,7 +41,7 @@ def generate_cuda_driver(
         "#include <cstdlib>",
         "#include <cuda_runtime.h>",
         "",
-        generate_cuda_kernel(plan, kernel_name).rstrip(),
+        _emit_kernel(plan, kernel_name).rstrip(),
         "",
         "#define CUDA_CHECK(call) do { \\",
         "    cudaError_t err_ = (call); \\",
@@ -116,3 +115,14 @@ def generate_cuda_driver(
         "}",
     ]
     return "\n".join(lines) + "\n"
+
+
+def generate_cuda_driver(
+    plan: KernelPlan, kernel_name: str = "tc_kernel"
+) -> str:
+    """Deprecated alias for the ``cuda`` target's driver emitter."""
+    warn_deprecated(
+        "repro.core.codegen.driver.generate_cuda_driver",
+        'get_target("cuda").emit_driver or Kernel.driver_source("cuda")',
+    )
+    return _emit_driver(plan, kernel_name)

@@ -1,0 +1,185 @@
+"""The pluggable codegen-target registry.
+
+Code emission used to be a set of hardwired free functions
+(``generate_cuda_kernel``, ``generate_opencl_kernel``, ...) plus ad-hoc
+``GeneratedKernel`` properties, so every new backend meant touching the
+generator, the cache, the CLI and the serializer by hand.  This module
+replaces that with the DaCe-style discoverable registry (compare
+``dace/codegen/targets/__init__.py``): each backend is one
+:class:`CodegenTarget` subclass registered under a stable name, and
+everything above the emission layer talks to targets exclusively through
+:func:`get_target` / :func:`list_targets`.
+
+A target bundles
+
+* ``name`` — the registry key (``"cuda"``, ``"opencl"``, ``"cemu"``,
+  ``"clemu"``, ``"openmp"``);
+* ``emit_kernel(plan, kernel_name)`` — the kernel (or standalone
+  program) source for a :class:`~repro.core.plan.KernelPlan`;
+* ``emit_driver(plan, kernel_name)`` — a host driver, where the target
+  has one;
+* ``launch_snippet(plan, kernel_name)`` — host-side launch code, where
+  meaningful;
+* ``can_execute`` + ``compile_and_run(plan, a, b)`` — whether (and how)
+  the emitted source can be compiled and executed in this offline
+  environment.
+
+Adding a backend is one file: subclass :class:`CodegenTarget`, decorate
+it with :func:`register_target`, and list the module in
+``_BUILTIN_MODULES`` (or import it from user code).  The generator,
+store keys, CLI and test batteries pick it up automatically.
+"""
+
+from __future__ import annotations
+
+import importlib
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, ClassVar, Dict, List, Type
+
+from ... import obs
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    import numpy as np
+
+    from ..plan import KernelPlan
+
+
+class TargetCapabilityError(RuntimeError):
+    """Raised when a target is asked for an operation it does not have
+    (e.g. a host driver for the C-emulation target)."""
+
+
+class CodegenTarget(ABC):
+    """One code-emission backend, registered under :attr:`name`.
+
+    Subclasses must provide :attr:`name` and :meth:`emit_kernel`; the
+    driver/launch/execute operations default to a
+    :class:`TargetCapabilityError` naming the target, so callers can
+    probe capabilities cheaply (``can_execute``) or fail with a message
+    that says *which* backend lacked *what*.
+    """
+
+    #: Registry key; also the value accepted by ``Kernel.source(target)``,
+    #: ``Cogent(target=...)``, ``Options(target=...)`` and ``--target``.
+    name: ClassVar[str]
+    #: Whether :meth:`compile_and_run` works in this offline environment.
+    can_execute: ClassVar[bool] = False
+    #: File suffix of the emitted kernel source (for serializers).
+    source_suffix: ClassVar[str] = ".c"
+
+    @abstractmethod
+    def emit_kernel(
+        self, plan: "KernelPlan", kernel_name: str = "tc_kernel"
+    ) -> str:
+        """The kernel (or standalone program) source for ``plan``."""
+
+    def emit_driver(
+        self, plan: "KernelPlan", kernel_name: str = "tc_kernel"
+    ) -> str:
+        """A standalone host driver around the kernel, if the target
+        distinguishes one from :meth:`emit_kernel`."""
+        raise TargetCapabilityError(
+            f"codegen target {self.name!r} does not emit a separate "
+            f"host driver"
+        )
+
+    def launch_snippet(
+        self, plan: "KernelPlan", kernel_name: str = "tc_kernel"
+    ) -> str:
+        """Host-side launch code computing the grid from extents."""
+        raise TargetCapabilityError(
+            f"codegen target {self.name!r} does not have a launch snippet"
+        )
+
+    def compile_and_run(
+        self, plan: "KernelPlan", a: "np.ndarray", b: "np.ndarray", **kwargs
+    ) -> "np.ndarray":
+        """Compile the emitted source and execute it on ``a``/``b``.
+
+        Only meaningful when :attr:`can_execute` is true; runnable
+        targets override :meth:`_compile_and_run`.
+        """
+        if not self.can_execute:
+            raise TargetCapabilityError(
+                f"codegen target {self.name!r} cannot be executed in "
+                f"this environment (can_execute=False); runnable "
+                f"targets: {runnable_targets()}"
+            )
+        obs.inc(f"codegen.target.{self.name}.runs")
+        return self._compile_and_run(plan, a, b, **kwargs)
+
+    def _compile_and_run(
+        self, plan: "KernelPlan", a: "np.ndarray", b: "np.ndarray", **kwargs
+    ) -> "np.ndarray":
+        raise TargetCapabilityError(
+            f"codegen target {self.name!r} declares can_execute but does "
+            f"not implement _compile_and_run"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CodegenTarget {self.name!r} can_execute={self.can_execute}>"
+
+
+#: Singleton instances by target name.
+_REGISTRY: Dict[str, CodegenTarget] = {}
+
+#: Built-in backends, imported lazily so ``import repro`` does not pull
+#: every emitter in; importing a module registers its target(s).
+_BUILTIN_MODULES = {
+    "cuda": ".cuda",
+    "opencl": ".opencl",
+    "cemu": ".cemu",
+    "clemu": ".clemu",
+    "openmp": ".openmp",
+}
+
+
+def register_target(cls: Type[CodegenTarget]) -> Type[CodegenTarget]:
+    """Class decorator: instantiate ``cls`` and register it by name.
+
+    Re-registering a name replaces the previous instance (last one
+    wins), which keeps module reloads harmless.
+    """
+    name = getattr(cls, "name", None)
+    if not isinstance(name, str) or not name:
+        raise ValueError(
+            f"{cls.__name__} must define a non-empty class-level 'name'"
+        )
+    _REGISTRY[name] = cls()
+    return cls
+
+
+def _load_builtin(name: str) -> None:
+    module = _BUILTIN_MODULES.get(name)
+    if module is not None and name not in _REGISTRY:
+        importlib.import_module(module, package=__package__)
+
+
+def get_target(name: str) -> CodegenTarget:
+    """The registered target instance for ``name``.
+
+    Unknown names raise :class:`ValueError` listing every registered
+    target, so a typo'd ``--target`` or ``Options(target=...)`` fails
+    with the full menu.
+    """
+    _load_builtin(name)
+    target = _REGISTRY.get(name)
+    if target is None:
+        raise ValueError(
+            f"unknown codegen target {name!r}; registered targets: "
+            f"{list_targets()}"
+        )
+    obs.inc(f"codegen.target.{name}.lookups")
+    return target
+
+
+def list_targets() -> List[str]:
+    """Every registered target name, sorted (built-ins are loaded)."""
+    for name in _BUILTIN_MODULES:
+        _load_builtin(name)
+    return sorted(_REGISTRY)
+
+
+def runnable_targets() -> List[str]:
+    """The subset of :func:`list_targets` with ``can_execute=True``."""
+    return [name for name in list_targets() if _REGISTRY[name].can_execute]

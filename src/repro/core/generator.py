@@ -10,7 +10,7 @@ emit CUDA for the winner.
 >>> from repro import Cogent
 >>> gen = Cogent(arch="V100")
 >>> kernel = gen.generate("abcd-aebf-dfce", sizes=24)
->>> print(kernel.cuda_source)      # doctest: +SKIP
+>>> print(kernel.source("cuda"))   # doctest: +SKIP
 """
 
 from __future__ import annotations
@@ -25,9 +25,7 @@ from .. import obs
 from ..deprecation import _UNSET, warn_deprecated
 from ..gpu.arch import GpuArch, get_arch
 from ..gpu.simulator import GpuSimulator, ModelParams, SimulationResult
-from .codegen.cemu import generate_c_emulation
-from .codegen.cuda import generate_cuda_kernel
-from .codegen.driver import generate_cuda_driver
+from .codegen.registry import get_target, list_targets
 from .constraints import ConstraintPolicy
 from .costmodel import CostModel, TransactionEstimate
 from .enumeration import (
@@ -85,7 +83,9 @@ class GeneratedKernel:
     #: The contraction after merging but before splitting (equals
     #: ``original_contraction`` when no merge was applied).
     merged_contraction: Optional[Contraction] = None
-    _cuda_source: Optional[str] = field(default=None, repr=False)
+    #: Default codegen target for :meth:`source` (the generator's).
+    target: str = "cuda"
+    _sources: Dict[str, str] = field(default_factory=dict, repr=False)
 
     @property
     def config(self) -> KernelConfig:
@@ -101,31 +101,52 @@ class GeneratedKernel:
         (``SearchStats`` or ``None`` on legacy full-enumeration paths)."""
         return self.enumeration.search_stats
 
-    @property
-    def cuda_source(self) -> str:
-        """The generated CUDA kernel source (lazily emitted, cached)."""
-        if self._cuda_source is None:
+    def source(self, target: Optional[str] = None) -> str:
+        """The kernel source for ``target`` (default: the generator's
+        target), lazily emitted and cached per target name.
+
+        Any name in :func:`repro.core.codegen.list_targets` works; an
+        unknown name raises :class:`ValueError` listing the choices.
+        """
+        name = target or self.target
+        backend = get_target(name)
+        if name not in self._sources:
             with obs.span("emit"):
-                self._cuda_source = generate_cuda_kernel(
+                self._sources[name] = backend.emit_kernel(
                     self.plan, self.kernel_name
                 )
             obs.inc("generate.kernels_emitted")
-        return self._cuda_source
+            obs.inc(f"codegen.target.{name}.emitted")
+        return self._sources[name]
+
+    def driver_source(self, target: Optional[str] = None) -> str:
+        """A standalone host driver for ``target`` (default: the
+        generator's target), where the target emits one."""
+        name = target or self.target
+        return get_target(name).emit_driver(self.plan, self.kernel_name)
+
+    @property
+    def cuda_source(self) -> str:
+        """Deprecated: use :meth:`source` with ``"cuda"``."""
+        warn_deprecated("Kernel.cuda_source", 'Kernel.source("cuda")')
+        return self.source("cuda")
 
     def cuda_driver_source(self) -> str:
-        """A standalone ``.cu`` with kernel + timing host driver."""
-        return generate_cuda_driver(self.plan, self.kernel_name)
+        """Deprecated: use :meth:`driver_source` with ``"cuda"``."""
+        warn_deprecated(
+            "Kernel.cuda_driver_source()", 'Kernel.driver_source("cuda")'
+        )
+        return self.driver_source("cuda")
 
     def c_emulation_source(self) -> str:
-        """A standalone C program emulating the kernel on the CPU."""
-        return generate_c_emulation(self.plan, self.kernel_name + "_emu")
+        """Deprecated: use :meth:`source` with ``"cemu"``."""
+        warn_deprecated("Kernel.c_emulation_source()", 'Kernel.source("cemu")')
+        return self.source("cemu")
 
     def opencl_source(self) -> str:
-        """The kernel emitted as OpenCL C (paper's planned future
-        backend)."""
-        from .codegen.opencl import generate_opencl_kernel
-
-        return generate_opencl_kernel(self.plan, self.kernel_name)
+        """Deprecated: use :meth:`source` with ``"opencl"``."""
+        warn_deprecated("Kernel.opencl_source()", 'Kernel.source("opencl")')
+        return self.source("opencl")
 
     def execute(self, a, b):
         """Run the kernel's schedule numerically on original-shape
@@ -226,6 +247,7 @@ class Cogent:
         engine: str = "columnar",
         workers=_UNSET,
         strategy: str = "direct",
+        target: str = "cuda",
     ) -> None:
         if workers is not _UNSET:
             # Old call path, kept behaviourally identical: the blessed
@@ -247,9 +269,17 @@ class Cogent:
                 f"unknown strategy {strategy!r}; choose from "
                 f"{('auto',) + STRATEGY_NAMES}"
             )
+        if target not in list_targets():
+            raise ValueError(
+                f"unknown codegen target {target!r}; choose from "
+                f"{list_targets()}"
+            )
         self.arch = get_arch(arch) if isinstance(arch, str) else arch
         self.dtype_bytes = dtype_bytes
         self.engine = engine
+        #: Default codegen target for emitted kernels
+        #: (:func:`repro.core.codegen.list_targets` has the choices).
+        self.target = target
         #: Execution-strategy family ("direct" is the paper's kernel;
         #: "auto" ranks direct/ttgt/gett/batched on the packing-aware
         #: traffic model, see :mod:`repro.strategies`).
@@ -296,7 +326,8 @@ class Cogent:
             f"top_k={self.top_k};tb={self.tb_sizes};reg={self.reg_sizes};"
             f"tbk={self.tbk_sizes};split={self.allow_split}"
             f":{self.split_factors};merge={self.allow_merge};"
-            f"policy={policy};strategy={self.strategy}"
+            f"policy={policy};strategy={self.strategy};"
+            f"target={self.target}"
         )
 
     def select_strategy(self, contraction: Union[str, Contraction],
@@ -418,6 +449,7 @@ class Cogent:
                     split_specs=specs,
                     merge_specs=merge_specs,
                     merged_contraction=merged_contraction,
+                    target=self.target,
                 )
                 if (
                     best is None

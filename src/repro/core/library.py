@@ -162,15 +162,16 @@ class KernelLibrary:
             plan=plan,
             original_contraction=original,
             merged_contraction=merged,
-            _cuda_source=None,
+            _sources={},
         )
 
     # -- emission -------------------------------------------------------------
 
     def cuda_library_source(self) -> str:
         """One CUDA translation unit: every version + a dispatcher."""
-        from .codegen.cuda import generate_cuda_kernel
+        from .codegen.registry import get_target
 
+        emit = get_target("cuda").emit_kernel
         parts: List[str] = [
             "// Generated by COGENT-repro: multi-version kernel library.",
             "// One kernel per representative problem size; "
@@ -180,7 +181,7 @@ class KernelLibrary:
             "",
         ]
         for entry in self.entries:
-            parts.append(generate_cuda_kernel(
+            parts.append(emit(
                 entry.kernel.plan, entry.kernel.kernel_name
             ))
         parts.append(self._dispatch_source())

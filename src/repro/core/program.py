@@ -77,6 +77,17 @@ _STAMP_MODULES = (
     "plan.py",
     "splitting.py",
     "generator.py",
+    # Emission layer: a stored kernel is only as reusable as the source
+    # text its target would emit for it today.
+    "codegen/registry.py",
+    "codegen/indexing.py",
+    "codegen/chost.py",
+    "codegen/cuda.py",
+    "codegen/driver.py",
+    "codegen/opencl.py",
+    "codegen/cemu.py",
+    "codegen/clemu.py",
+    "codegen/openmp.py",
 )
 
 _CODE_STAMP: Optional[str] = None
@@ -296,6 +307,7 @@ def kernel_from_store_payload(
         split_specs=tuple(specs),
         merge_specs=(),
         merged_contraction=canon,
+        target=generator.target,
     )
 
 
@@ -606,7 +618,7 @@ class CompilationSession:
             return [
                 kernel
                 if kernel.kernel_name == name
-                else replace(kernel, kernel_name=name, _cuda_source=None)
+                else replace(kernel, kernel_name=name, _sources={})
                 for kernel, name in zip(kernels, rep_names)
             ]
         return [
@@ -632,7 +644,7 @@ class CompilationSession:
         if rename is None and source == target:
             if kernel.kernel_name == name:
                 return kernel
-            return replace(kernel, kernel_name=name, _cuda_source=None)
+            return replace(kernel, kernel_name=name, _sources={})
         return _rebind_kernel(
             kernel, target, rename=dict(rename or {}) or None,
             kernel_name=name,

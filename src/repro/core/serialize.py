@@ -129,11 +129,11 @@ def save_kernel(
     """Write sources + metadata into ``directory`` (created if needed)."""
     out = Path(directory)
     out.mkdir(parents=True, exist_ok=True)
-    (out / "kernel.cu").write_text(kernel.cuda_source)
-    (out / "driver.cu").write_text(kernel.cuda_driver_source())
-    (out / "kernel_emu.c").write_text(kernel.c_emulation_source())
+    (out / "kernel.cu").write_text(kernel.source("cuda"))
+    (out / "driver.cu").write_text(kernel.driver_source("cuda"))
+    (out / "kernel_emu.c").write_text(kernel.source("cemu"))
     if include_opencl:
-        (out / "kernel.cl").write_text(kernel.opencl_source())
+        (out / "kernel.cl").write_text(kernel.source("opencl"))
     (out / "meta.json").write_text(
         json.dumps(kernel_to_meta(kernel), indent=2, sort_keys=True)
         + "\n"
@@ -167,10 +167,10 @@ def verify_saved_kernel(directory: Union[str, Path]) -> bool:
     Guards against drift between a stored kernel and the generator
     version used to rebuild it.
     """
-    from .codegen.cuda import generate_cuda_kernel
+    from .codegen.registry import get_target
 
     meta = load_meta(directory)
     plan = load_plan(directory)
-    regenerated = generate_cuda_kernel(plan, meta["kernel_name"])
+    regenerated = get_target("cuda").emit_kernel(plan, meta["kernel_name"])
     saved = (Path(directory) / "kernel.cu").read_text()
     return regenerated == saved

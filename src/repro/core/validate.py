@@ -6,9 +6,13 @@ Runs every available correctness check for a generated kernel against
 * ``plan``   — the tiled block/step schedule executed in numpy;
 * ``cemu``   — the emitted sequential-C program, compiled and run;
 * ``opencl`` — the emitted OpenCL kernel text, executed via the
-  pthread work-group harness;
+  pthread work-group harness (the ``clemu`` target);
+* ``openmp`` — the OpenMP-C CPU backend, compiled and run;
 * ``trace``  — the address-trace transaction counter replays without
   out-of-range accesses (bounds sanity).
+
+The compiled checks all dispatch through the codegen target registry
+(:func:`repro.core.codegen.get_target`).
 
 Used by the test-suite integration tests and the ``cogent verify`` CLI
 command.
@@ -26,7 +30,12 @@ from ..gpu.executor import random_operands, reference_contract
 from ..gpu.memory import count_transactions
 from .generator import GeneratedKernel
 
-ALL_CHECKS = ("plan", "cemu", "opencl", "trace")
+ALL_CHECKS = ("plan", "cemu", "opencl", "openmp", "trace")
+
+#: Compiled checks: check name -> executable codegen target.  The
+#: ``opencl`` check runs the real OpenCL kernel text under the pthread
+#: work-group harness, i.e. the ``clemu`` target.
+_COMPILED_TARGETS = {"cemu": "cemu", "opencl": "clemu", "openmp": "openmp"}
 
 
 @dataclass
@@ -86,7 +95,7 @@ def validate_kernel(
                 report.results.append(
                     CheckResult("plan", ok, "tiled numpy schedule")
                 )
-            elif check in ("cemu", "opencl"):
+            elif check in _COMPILED_TARGETS:
                 if not have_cc:
                     report.results.append(
                         CheckResult(check, True, "skipped: no C compiler")
@@ -94,8 +103,11 @@ def validate_kernel(
                     continue
                 got = _run_compiled(kernel, check, a, b)
                 ok = np.allclose(got, want, **tol)
-                backend = "sequential C" if check == "cemu" else \
-                    "OpenCL via pthread harness"
+                backend = {
+                    "cemu": "sequential C",
+                    "opencl": "OpenCL via pthread harness",
+                    "openmp": "OpenMP-C CPU backend",
+                }[check]
                 report.results.append(CheckResult(check, ok, backend))
             elif check == "trace":
                 measured = count_transactions(kernel.plan, exact="auto")
@@ -128,14 +140,11 @@ def _run_compiled(
         merged = kernel.merged_contraction or base
         a, b = adapt_operands(merged, kernel.split_specs, a, b)
 
-    if backend == "cemu":
-        from .codegen.cemu import compile_and_run
+    from .codegen.registry import get_target
 
-        out = compile_and_run(kernel.plan, a, b)
-    else:
-        from .codegen.clemu import compile_and_run_opencl
-
-        out = compile_and_run_opencl(kernel.plan, a, b)
+    out = get_target(_COMPILED_TARGETS[backend]).compile_and_run(
+        kernel.plan, a, b
+    )
 
     if kernel.split_specs:
         out = restore_output(kernel.contraction, kernel.split_specs, out)

@@ -110,7 +110,7 @@ class TestFacade:
         kernel = api.compile("ab-ak-kb", 32,
                              options=api.Options(top_k=2))
         assert kernel.config is not None
-        assert "__global__" in kernel.cuda_source
+        assert "__global__" in kernel.source("cuda")
 
     def test_compile_cache_dir_persists(self, tmp_path):
         opts = api.Options(top_k=2, cache_dir=tmp_path / "kernels")

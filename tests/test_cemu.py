@@ -7,17 +7,18 @@ semantics."""
 import numpy as np
 import pytest
 
-from repro.core.codegen.cemu import (
-    EmulationError,
-    compile_and_run,
-    generate_c_emulation,
-)
+from repro.core.codegen import get_target
+from repro.core.codegen.cemu import EmulationError, compile_and_run
 from repro.core.mapping import config_from_spec
 from repro.core.parser import parse
 from repro.core.plan import KernelPlan
 from repro.gpu.executor import random_operands, reference_contract
 
 from .conftest import requires_cc
+
+
+def generate_c_emulation(plan, kernel_name="tc_kernel_emu"):
+    return get_target("cemu").emit_kernel(plan, kernel_name[:-len("_emu")])
 
 
 def make_plan(c, dtype_bytes=8, **spec):

@@ -4,13 +4,20 @@ import re
 
 import pytest
 
+from repro.core.codegen import get_target
 from repro.core.codegen.cuda import (
-    generate_cuda_kernel,
     generate_launch_snippet,
     kernel_param_list,
     scalar_type,
 )
-from repro.core.codegen.driver import generate_cuda_driver
+
+
+def generate_cuda_kernel(plan, kernel_name="tc_kernel"):
+    return get_target("cuda").emit_kernel(plan, kernel_name)
+
+
+def generate_cuda_driver(plan, kernel_name="tc_kernel"):
+    return get_target("cuda").emit_driver(plan, kernel_name)
 from repro.core.mapping import config_from_spec
 from repro.core.parser import parse
 from repro.core.plan import KernelPlan

@@ -63,7 +63,7 @@ class TestExtremeShapes:
         sim = kernel.candidates[0].simulated
         assert sim.time_s > 0
         # Generated code uses long strides for exactly this reason.
-        assert "const long st_A_a" in kernel.cuda_source
+        assert "const long st_A_a" in kernel.source("cuda")
 
     def test_prime_extents(self, gen):
         c = parse("abc-adc-bd", {"a": 13, "b": 11, "c": 7, "d": 17})

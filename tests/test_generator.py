@@ -83,15 +83,20 @@ class TestFallbacks:
 class TestSources:
     def test_cuda_source_cached(self, cogent_v100, eq1_repr):
         kernel = cogent_v100.generate(eq1_repr)
-        assert kernel.cuda_source is kernel.cuda_source
+        assert kernel.source("cuda") is kernel.source("cuda")
+
+    def test_default_target_is_cuda(self, cogent_v100, eq1_repr):
+        kernel = cogent_v100.generate(eq1_repr)
+        assert kernel.target == "cuda"
+        assert kernel.source() == kernel.source("cuda")
 
     def test_driver_source_contains_kernel(self, cogent_v100, eq1_repr):
         kernel = cogent_v100.generate(eq1_repr)
-        assert "tc_kernel" in kernel.cuda_driver_source()
+        assert "tc_kernel" in kernel.driver_source("cuda")
 
     def test_c_emulation_source(self, cogent_v100, eq1_repr):
         kernel = cogent_v100.generate(eq1_repr)
-        assert "tc_kernel_emu" in kernel.c_emulation_source()
+        assert "tc_kernel_emu" in kernel.source("cemu")
 
 
 class TestRankAndPredict:
@@ -120,7 +125,7 @@ class TestDtype:
     def test_single_precision_generator(self, eq1_repr):
         gen = Cogent(arch="V100", dtype_bytes=4)
         kernel = gen.generate(eq1_repr)
-        assert "float" in kernel.cuda_source
+        assert "float" in kernel.source("cuda")
         assert verify_plan(kernel.plan)
 
     def test_archs_rank_as_expected_at_scale(self):

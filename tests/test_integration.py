@@ -43,7 +43,7 @@ class TestFullPipelineEq1:
 
     def test_cuda_source_well_formed(self, setup):
         _, kernel, _, _, _ = setup
-        source = kernel.cuda_source
+        source = kernel.source("cuda")
         assert source.count("{") == source.count("}")
         assert "__global__" in source
 

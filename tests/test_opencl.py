@@ -4,17 +4,21 @@ the emitted kernel text through the pthread work-group harness."""
 import numpy as np
 import pytest
 
+from repro.core.codegen import get_target
 from repro.core.codegen.clemu import (
     compile_and_run_opencl,
     generate_opencl_harness,
 )
-from repro.core.codegen.opencl import generate_opencl_kernel
 from repro.core.mapping import config_from_spec
 from repro.core.parser import parse
 from repro.core.plan import KernelPlan
 from repro.gpu.executor import random_operands, reference_contract
 
 from .conftest import requires_cc
+
+
+def generate_opencl_kernel(plan, kernel_name="tc_kernel"):
+    return get_target("opencl").emit_kernel(plan, kernel_name)
 
 
 @pytest.fixture
