@@ -15,13 +15,27 @@ primary correlation uses ``exact=True``; the sampled
 reports the correlation delta from switching sampled -> exact (the
 sampled estimate over-counts on boundary tiles, distorting the
 ranking).
+
+A third arm cross-validates the *calibrated* model
+(:mod:`repro.autotune.calibration`): per-regime least-squares
+corrections are fitted with whole benchmarks held out, and the held-out
+Spearman correlation of the calibrated prediction against the
+measured-traffic simulation time is compared with the analytic
+model's — the reported uplift is the tentpole claim of the calibration
+subsystem.  Results land in the repo-root
+``BENCH_costmodel_correlation.json`` and the ``calibration`` section of
+``BENCH_autotune_calibration.json``.
 """
+
+import json
+from pathlib import Path
 
 import numpy as np
 import pytest
 from scipy import stats
 
 from repro import Cogent, KernelPlan
+from repro.autotune import collect_samples, cross_validate
 from repro.gpu.memory import count_transactions
 from repro.tccg import get
 
@@ -31,6 +45,27 @@ REPRESENTATIVES = ("ttm_mode2", "mo_stage1", "ccsd_eq1", "sd_t_d2_1",
 #: Configurations per contraction in the measured-transaction arm
 #: (each needs a sampled and an exact replay).
 MEASURED_SAMPLE = 60
+
+#: Configurations per contraction in the calibration arm (each needs
+#: an exact replay and two simulator passes).
+CALIBRATION_SAMPLE = 24
+
+_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = _ROOT / "BENCH_costmodel_correlation.json"
+CALIBRATION_RESULT_PATH = _ROOT / "BENCH_autotune_calibration.json"
+
+
+def merge_result_section(path: Path, section: str, payload: dict) -> None:
+    """Merge one section into a repo-root result JSON."""
+    merged = {}
+    if path.exists():
+        try:
+            merged = json.loads(path.read_text())
+        except ValueError:
+            merged = {}
+    merged[section] = payload
+    path.write_text(json.dumps(merged, indent=2, sort_keys=True))
+    print(f"wrote section {section!r} to {path}")
 
 
 def correlation_for(name):
@@ -92,6 +127,23 @@ def test_costmodel_correlation(benchmark):
     print(f"model vs measured transactions: sampled {mean_sampled:.3f}, "
           f"exact {mean_exact:.3f} "
           f"(delta {mean_exact - mean_sampled:+.3f} from exact replay)")
+    merge_result_section(RESULT_PATH, "correlation", {
+        "arch": "V100",
+        "benchmarks": {
+            name: {
+                "spearman_rho": rho,
+                "model_regret": regret,
+                "configs": n,
+                "rho_sampled": rho_s,
+                "rho_exact": rho_e,
+            }
+            for name, (rho, regret, n, rho_s, rho_e) in results.items()
+        },
+        "mean_rho": mean_rho,
+        "mean_rho_sampled": mean_sampled,
+        "mean_rho_exact": mean_exact,
+    })
+
     # The model must rank the space far better than chance...
     assert mean_rho > 0.4
     # ...its transaction predictions must track the exact replay...
@@ -99,3 +151,51 @@ def test_costmodel_correlation(benchmark):
     # ...and picking by model alone must never be catastrophic.
     for name, (rho, regret, _n, _rho_s, _rho_e) in results.items():
         assert regret < 4.0, f"{name}: model-only pick {regret:.1f}x off"
+
+
+def run_crossval():
+    samples = []
+    for name in REPRESENTATIVES:
+        samples.extend(collect_samples(
+            get(name).contraction(), name,
+            per_contraction=CALIBRATION_SAMPLE,
+        ))
+    return samples, cross_validate(samples, folds=3)
+
+
+def test_calibration_crossval_uplift(benchmark):
+    samples, cv = benchmark.pedantic(run_crossval, rounds=1, iterations=1)
+    print()
+    print("Calibrated model - held-out correlation vs analytic "
+          f"({len(samples)} samples, {len(cv.folds)} leave-group-out "
+          "folds)")
+    print(f"{'fold':>4} {'held out':<32} {'analytic':>9} "
+          f"{'calibrated':>11} {'uplift':>8}")
+    for fold in cv.folds:
+        held = ",".join(fold.held_out)
+        print(f"{fold.fold:>4} {held:<32} {fold.analytic_rho:>9.3f} "
+              f"{fold.calibrated_rho:>11.3f} {fold.uplift:>+8.3f}")
+    print(f"mean: analytic {cv.mean_analytic_rho:.3f}, calibrated "
+          f"{cv.mean_calibrated_rho:.3f} (uplift {cv.uplift:+.3f})")
+
+    payload = {
+        "arch": "V100",
+        "per_contraction": CALIBRATION_SAMPLE,
+        "samples": len(samples),
+        "crossval": cv.as_dict(),
+    }
+    merge_result_section(RESULT_PATH, "calibration_crossval", payload)
+    merge_result_section(CALIBRATION_RESULT_PATH, "calibration", payload)
+
+    # The fitted correction must improve held-out ranking on average
+    # (the tentpole claim) and must never be catastrophically worse on
+    # any single fold.
+    assert cv.uplift > 0.0, (
+        f"calibration made held-out correlation worse: {cv.uplift:+.3f}"
+    )
+    for fold in cv.folds:
+        assert fold.calibrated_rho > fold.analytic_rho - 0.05, (
+            f"fold {fold.fold} ({fold.held_out}): calibrated "
+            f"{fold.calibrated_rho:.3f} vs analytic "
+            f"{fold.analytic_rho:.3f}"
+        )

@@ -1,24 +1,70 @@
-"""Fig. 8 reproduction: GFLOPS vs number of autotuned code versions for
-Tensor Comprehensions on SD2_1 (abcdef-gdab-efgc), V100, single
-precision, against COGENT's one-shot model-driven result.
+"""Fig. 8 reproduction: GFLOPS vs number of autotuned code versions.
 
-Paper series: TC-without-tuning stays below 1 GFLOPS; TC-with-tuning
-climbs to 900-1500 GFLOPS over ~2000 evaluated versions costing
-~8514 s; COGENT reaches its (higher) performance in seconds of code
-generation.
+Two arms:
+
+* The original comparison — Tensor Comprehensions' genetic autotuner on
+  SD2_1 (abcdef-gdab-efgc), V100, single precision, against COGENT's
+  one-shot model-driven result.  Paper series: TC-without-tuning stays
+  below 1 GFLOPS; TC-with-tuning climbs to 900-1500 GFLOPS over ~2000
+  evaluated versions costing ~8514 s; COGENT reaches its (higher)
+  performance in seconds of code generation.
+
+* The calibrated model-guided loop
+  (:class:`repro.autotune.ModelGuidedStrategy`) — the paper's implicit
+  claim that a handful of measured candidates from the model-ranked
+  shortlist reach near-best performance.  For each TCCG representative
+  the guided loop (budget 8 exact-replay measurements) is compared
+  against exhaustively measuring the whole shortlist; the asserted
+  claim is ≤8 measurements within 5% of the exhaustive best.  Results
+  land in the repo-root ``BENCH_autotune_calibration.json`` (the
+  ``fig8_guided`` section; ``bench_costmodel_correlation.py`` merges
+  the ``calibration`` section into the same file).
 """
 
+import json
 import os
+from pathlib import Path
 
-from repro import Cogent
+from conftest import quick_mode
+
+from repro import Cogent, KernelPlan
+from repro.autotune import (
+    ModelGuidedStrategy,
+    ReplayEvaluator,
+    ensure_calibration,
+)
 from repro.baselines.tc import TcAutotuner
 from repro.evaluation import curve_table
 from repro.evaluation.plots import line_plot
 from repro.gpu.arch import VOLTA_V100
-from repro.tccg import SD2_1
+from repro.tccg import SD2_1, get
 
 TC_POPULATION = int(os.environ.get("TC_POPULATION", "40"))
 TC_GENERATIONS = int(os.environ.get("TC_GENERATIONS", "10"))
+
+#: One representative per TCCG structural family (the calibration's
+#: default fit suite; the guided loop is evaluated per benchmark with
+#: that benchmark's samples held out of its calibration fit).
+GUIDED_SUITE = ("ttm_mode2", "mo_stage1", "ccsd_eq1", "sd_t_d2_1",
+                "sd_t_d1_1", "ccsd_mx1")
+GUIDED_BUDGET = 8
+GUIDED_SHORTLIST = 32
+
+RESULT_PATH = Path(__file__).resolve().parent.parent \
+    / "BENCH_autotune_calibration.json"
+
+
+def merge_result_section(section: str, payload: dict) -> None:
+    """Merge one section into the repo-root result JSON."""
+    merged = {}
+    if RESULT_PATH.exists():
+        try:
+            merged = json.loads(RESULT_PATH.read_text())
+        except ValueError:
+            merged = {}
+    merged[section] = payload
+    RESULT_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True))
+    print(f"wrote section {section!r} to {RESULT_PATH}")
 
 
 def run_tuning():
@@ -64,3 +110,88 @@ def test_fig8_tuning_curve(benchmark):
     assert cogent.generation_time_s < result.modeled_tuning_time_s / 10
     # The curve is a best-so-far trace: monotone non-decreasing.
     assert all(b >= a for a, b in zip(result.curve, result.curve[1:]))
+
+
+def guided_for(name, model):
+    """Guided loop vs exhaustive shortlist measurement for one entry."""
+    contraction = get(name).contraction()
+    evaluator = ReplayEvaluator(contraction, VOLTA_V100)
+    tuner = ModelGuidedStrategy(
+        budget=GUIDED_BUDGET,
+        shortlist=GUIDED_SHORTLIST,
+        calibration=model,
+    )
+    trace = tuner.tune(evaluator)
+    measurements = trace.evaluations
+
+    # Exhaustive arm: measure every shortlist candidate (the guided
+    # measurements replay from the evaluator cache, so the exhaustive
+    # pass charges only the configurations the loop skipped).
+    generator = Cogent(arch=VOLTA_V100, dtype_bytes=8, allow_split=False)
+    ranked = generator.rank_configs(contraction)[:GUIDED_SHORTLIST]
+    exhaustive_best = max(
+        evaluator.fitness(config) for config, _cost in ranked
+    )
+    return {
+        "benchmark": name,
+        "guided_gflops": trace.best_gflops,
+        "exhaustive_gflops": exhaustive_best,
+        "fraction_of_best": trace.best_gflops / exhaustive_best,
+        "measurements": measurements,
+        "shortlist": tuner.last_report.shortlist,
+        "rounds": tuner.last_report.rounds,
+        "stabilized": tuner.last_report.stabilized,
+        "curve": list(trace.curve),
+    }
+
+
+def run_guided_suite():
+    suite = GUIDED_SUITE[:3] if quick_mode() else GUIDED_SUITE
+    rows = []
+    for name in suite:
+        # Hold the benchmark out of its own calibration fit: the model
+        # applied to each entry is trained on the other suite members.
+        fit_on = tuple(n for n in GUIDED_SUITE if n != name)
+        model, _fitted = ensure_calibration(benchmarks=fit_on)
+        rows.append(guided_for(name, model))
+    return rows
+
+
+def test_fig8_guided_loop(benchmark):
+    rows = benchmark.pedantic(run_guided_suite, rounds=1, iterations=1)
+    print()
+    print("Fig. 8 - calibrated model-guided loop vs exhaustive shortlist "
+          f"(V100, budget {GUIDED_BUDGET}, shortlist {GUIDED_SHORTLIST})")
+    print(f"{'benchmark':<14} {'guided':>10} {'exhaustive':>11} "
+          f"{'of best':>8} {'meas':>5} {'rounds':>7} {'stable':>7}")
+    for row in rows:
+        print(f"{row['benchmark']:<14} {row['guided_gflops']:>10.1f} "
+              f"{row['exhaustive_gflops']:>11.1f} "
+              f"{row['fraction_of_best']:>7.1%} "
+              f"{row['measurements']:>5} {row['rounds']:>7} "
+              f"{str(row['stabilized']):>7}")
+    worst = min(row["fraction_of_best"] for row in rows)
+    max_meas = max(row["measurements"] for row in rows)
+    print(f"worst fraction of exhaustive best: {worst:.1%}; "
+          f"max measurements: {max_meas}")
+
+    merge_result_section("fig8_guided", {
+        "arch": "V100",
+        "budget": GUIDED_BUDGET,
+        "shortlist": GUIDED_SHORTLIST,
+        "quick": quick_mode(),
+        "rows": rows,
+        "worst_fraction_of_best": worst,
+        "max_measurements": max_meas,
+    })
+
+    # The Fig. 8 claim: a handful of model-guided measurements reach
+    # near-best performance.
+    assert max_meas <= GUIDED_BUDGET
+    for row in rows:
+        assert row["fraction_of_best"] >= 0.95, (
+            f"{row['benchmark']}: guided loop reached only "
+            f"{row['fraction_of_best']:.1%} of the exhaustive best"
+        )
+        # Best-so-far curves are monotone.
+        assert all(b >= a for a, b in zip(row["curve"], row["curve"][1:]))

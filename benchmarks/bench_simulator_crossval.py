@@ -10,7 +10,12 @@ by *independent* evidence.  Two checks run here:
    groups and across both precisions;
 2. the analytical model's transaction counts must agree with the
    address-trace replayer on exactly divisible problems.
+
+Results land in the repo-root ``BENCH_simulator_crossval.json``.
 """
+
+import json
+from pathlib import Path
 
 import pytest
 
@@ -24,6 +29,22 @@ from repro.gpu.warpsim import WarpLevelSimulator
 from repro.tccg import get
 
 CASES = ("ttm_mode2", "mo_stage1", "ccsd_eq1", "sd_t_d2_1", "ccsd_mx1")
+
+RESULT_PATH = Path(__file__).resolve().parent.parent \
+    / "BENCH_simulator_crossval.json"
+
+
+def merge_result_section(section: str, payload: dict) -> None:
+    """Merge one section into the repo-root result JSON."""
+    merged = {}
+    if RESULT_PATH.exists():
+        try:
+            merged = json.loads(RESULT_PATH.read_text())
+        except ValueError:
+            merged = {}
+    merged[section] = payload
+    RESULT_PATH.write_text(json.dumps(merged, indent=2, sort_keys=True))
+    print(f"wrote section {section!r} to {RESULT_PATH}")
 
 
 def run_crossval():
@@ -48,6 +69,18 @@ def test_warp_vs_analytic(benchmark):
     for name, analytic, warp in rows:
         print(f"{name:<12} {analytic:>10.1f} {warp:>11.1f} "
               f"{analytic / warp:>7.2f}")
+    merge_result_section("warp_vs_analytic", {
+        "arch": "V100",
+        "rows": [
+            {
+                "benchmark": name,
+                "analytic_gflops": analytic,
+                "warp_gflops": warp,
+                "ratio": analytic / warp,
+            }
+            for name, analytic, warp in rows
+        ],
+    })
     for name, analytic, warp in rows:
         ratio = analytic / warp
         assert 1 / 3 <= ratio <= 3, f"{name}: simulators disagree {ratio:.2f}x"
@@ -69,4 +102,9 @@ def test_transactions_vs_trace(benchmark):
     model, measured = benchmark.pedantic(run, rounds=1, iterations=1)
     print(f"\nmodel transactions   : {model.total}")
     print(f"replayed transactions: {measured.total}")
+    merge_result_section("transactions_vs_trace", {
+        "case": "ab-ak-kb @ 64^3, 16^3 tiles",
+        "model_transactions": int(model.total),
+        "replayed_transactions": int(measured.total),
+    })
     assert model.total == measured.total

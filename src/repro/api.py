@@ -122,6 +122,13 @@ class Options:
         default; ``"opencl"``, ``"cemu"``, ``"clemu"``, ``"openmp"``
         are built in).  Folded into store keys, so a kernel cached for
         one target never satisfies another.
+    calibration:
+        ``"off"`` (default) or ``"auto"``.  With ``"auto"``,
+        :func:`tune` in guided mode loads — or, cold, fits and persists
+        under ``store_dir`` — the per-arch calibrated cost-model
+        correction (:mod:`repro.autotune.calibration`) before running
+        the measurement loop; warm runs against a populated store
+        perform zero calibration refits.
     """
 
     workers: int = 1
@@ -136,6 +143,7 @@ class Options:
     path_engine: str = "vectorized"
     memory_cap: Optional[int] = None
     target: str = "cuda"
+    calibration: str = "off"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -181,6 +189,11 @@ class Options:
             raise ValueError(
                 f"target must be one of {list_targets()}, "
                 f"got {self.target!r}"
+            )
+        if self.calibration not in ("off", "auto"):
+            raise ValueError(
+                f"calibration must be 'off' or 'auto', "
+                f"got {self.calibration!r}"
             )
 
     @property
@@ -390,13 +403,26 @@ def tune(
     population: int = 20,
     generations: int = 5,
     seed: int = 0,
+    guided: bool = False,
+    budget: int = 8,
+    shortlist: int = 64,
 ):
-    """Run the TC-style genetic autotuner baseline on one contraction.
+    """Autotune one contraction.
 
-    Returns a :class:`repro.baselines.tc.TuneResult` with the tuning
+    By default, runs the TC-style genetic autotuner baseline and
+    returns a :class:`repro.baselines.tc.TuneResult` with the tuning
     curve, best configuration and modelled tuning cost.
+
+    With ``guided=True``, runs the calibrated model-guided loop instead
+    (:class:`repro.autotune.ModelGuidedStrategy`): the columnar engine
+    ranks a ``shortlist``, the calibrated correction re-ranks it, the
+    simulator measures at most ``budget`` candidates with exact-replay
+    traffic, the correction refits online, and the loop stops once the
+    predicted best stabilises.  ``options.calibration="auto"`` loads or
+    fits the offline calibration (persisted under ``options.store_dir``
+    so warm runs skip fitting).  Returns a
+    :class:`repro.autotune.GuidedTuneResult`.
     """
-    from .baselines.tc import TcAutotuner
     from .gpu.arch import get_arch
 
     with _traced(options, "tune"):
@@ -404,6 +430,38 @@ def tune(
             parse(expression, sizes)
             if isinstance(expression, str) else expression
         )
+        if guided:
+            from .autotune import (
+                GuidedTuneResult,
+                ModelGuidedStrategy,
+                ReplayEvaluator,
+                ensure_calibration,
+            )
+
+            model, fitted = None, False
+            if options.calibration == "auto":
+                model, fitted = ensure_calibration(
+                    arch=options.arch,
+                    dtype_bytes=options.dtype_bytes,
+                    store=options.store_dir,
+                )
+            evaluator = ReplayEvaluator(
+                contraction, get_arch(options.arch), options.dtype_bytes
+            )
+            strategy = ModelGuidedStrategy(
+                budget=budget,
+                seed=seed,
+                shortlist=shortlist,
+                calibration=model,
+            )
+            trace = strategy.tune(evaluator)
+            return GuidedTuneResult(
+                trace=trace,
+                report=strategy.last_report,
+                calibration_fitted=fitted,
+            )
+        from .baselines.tc import TcAutotuner
+
         tuner = TcAutotuner(
             get_arch(options.arch),
             options.dtype_bytes,

@@ -1,28 +1,56 @@
 """Empirical autotuning strategies over the raw configuration space,
-plus the model-driven approach in the same interface (paper Section VI:
-model-driven selection complements search-based optimisation)."""
+plus the model-driven approaches in the same interface (paper Section
+VI: model-driven selection complements search-based optimisation, and
+Fig. 8's calibrated guided loop needs only a handful of measurements)."""
 
-from .base import Evaluator, Tuner, TuneTrace
+from .base import Evaluator, ReplayEvaluator, Tuner, TuneTrace
+from .calibration import (
+    CalibrationModel,
+    CalibrationSample,
+    CrossValidation,
+    collect_samples,
+    cross_validate,
+    ensure_calibration,
+    fit_calibration,
+    load_calibration,
+    save_calibration,
+)
 from .space import ConfigSpace, TILE_CHOICES
 from .strategies import (
     ALL_STRATEGIES,
     GeneticSearch,
+    GuidedReport,
+    GuidedTuneResult,
     HillClimb,
     ModelDriven,
+    ModelGuidedStrategy,
     RandomSearch,
     SimulatedAnnealing,
 )
 
 __all__ = [
     "ALL_STRATEGIES",
+    "CalibrationModel",
+    "CalibrationSample",
     "ConfigSpace",
+    "CrossValidation",
     "Evaluator",
     "GeneticSearch",
+    "GuidedReport",
+    "GuidedTuneResult",
     "HillClimb",
     "ModelDriven",
+    "ModelGuidedStrategy",
     "RandomSearch",
+    "ReplayEvaluator",
     "SimulatedAnnealing",
     "TILE_CHOICES",
     "Tuner",
     "TuneTrace",
+    "collect_samples",
+    "cross_validate",
+    "ensure_calibration",
+    "fit_calibration",
+    "load_calibration",
+    "save_calibration",
 ]

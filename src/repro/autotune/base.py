@@ -42,6 +42,11 @@ class Evaluator:
         self.evaluations = 0
         self._cache: Dict[str, float] = {}
 
+    def _simulate(self, plan: KernelPlan):
+        """The measurement backing one evaluation (override to change
+        what 'running the kernel' means)."""
+        return self.simulator.simulate(plan)
+
     def fitness(self, config: KernelConfig) -> float:
         """Simulated GFLOPS; zero for unrunnable configurations."""
         self.evaluations += 1
@@ -56,11 +61,41 @@ class Evaluator:
                 plan = KernelPlan(
                     self.contraction, config, self.dtype_bytes
                 )
-                value = self.simulator.simulate(plan).gflops
+                value = self._simulate(plan).gflops
         except (ConfigError, ValueError):
             value = 0.0
         self._cache[key] = value
         return value
+
+
+class ReplayEvaluator(Evaluator):
+    """Fitness measured with exact-replay DRAM traffic.
+
+    The plain :class:`Evaluator` charges the analytic transaction
+    estimate — fine for comparing search strategies, but circular for
+    judging the cost model itself.  This variant replays every evaluated
+    configuration's addresses (:func:`repro.gpu.memory.\
+    count_transactions` with ``exact=True``) and feeds the measured
+    counts to the simulator: the reproduction's closest stand-in for
+    actually running the kernel, and the measurement the calibrated
+    guided loop (:class:`~repro.autotune.strategies.\
+    ModelGuidedStrategy`) spends its budget on.
+    """
+
+    def _simulate(self, plan: KernelPlan):
+        from ..core.costmodel import TransactionEstimate
+        from ..gpu.memory import count_transactions
+
+        measured = count_transactions(plan, exact=True)
+        return self.simulator.simulate(
+            plan,
+            traffic=TransactionEstimate(
+                load_a=measured.load_a,
+                load_b=measured.load_b,
+                store_c=measured.store_c,
+                transaction_bytes=self.simulator.arch.transaction_bytes,
+            ),
+        )
 
 
 @dataclass

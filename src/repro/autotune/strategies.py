@@ -12,12 +12,15 @@ empirical evaluations, while search needs hundreds to thousands.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from .. import obs
 from ..core.generator import Cogent
 from ..core.mapping import KernelConfig
+from ..core.plan import KernelPlan
 from .base import Evaluator, Tuner, TuneTrace
 from .space import ConfigSpace
 
@@ -202,6 +205,301 @@ class ModelDriven(Tuner):
                 trace, cand.config, evaluator.fitness(cand.config)
             )
         return trace
+
+
+@dataclass
+class _Candidate:
+    """One shortlist member of the guided loop."""
+
+    config: KernelConfig
+    cost: int
+    features: Tuple[float, ...]
+    regime: str
+    analytic_time: float
+    #: Offline-calibration residual (0.0 without a fitted model).
+    base_correction: float
+    measured_time: Optional[float] = None
+    measured_gflops: float = 0.0
+
+
+@dataclass
+class GuidedReport:
+    """Loop accounting of one :class:`ModelGuidedStrategy` run."""
+
+    shortlist: int = 0
+    rounds: int = 0
+    measurements: int = 0
+    stabilized: bool = False
+    calibrated: bool = False
+    online_refits: int = 0
+    predicted_best: str = ""
+
+    def as_dict(self) -> Dict:
+        return {
+            "shortlist": self.shortlist,
+            "rounds": self.rounds,
+            "measurements": self.measurements,
+            "stabilized": self.stabilized,
+            "calibrated": self.calibrated,
+            "online_refits": self.online_refits,
+            "predicted_best": self.predicted_best,
+        }
+
+
+class ModelGuidedStrategy(Tuner):
+    """Calibrated-model-guided measurement loop (the Fig. 8 claim).
+
+    The columnar engine ranks the pruned space by the analytic model;
+    the calibrated correction (:mod:`repro.autotune.calibration`)
+    re-ranks the shortlist by predicted time; the simulator *measures*
+    the top few candidates; an online second-stage correction refits on
+    every measurement; and the loop stops as soon as the predicted-best
+    configuration stabilises.  A handful of simulated measurements
+    (``budget`` defaults to the paper's ≤8) reaches within a few percent
+    of exhaustively measuring the space.
+
+    Deterministic end to end: the shortlist order, feature arithmetic,
+    least-squares refits and the stop rule contain no randomness (the
+    inherited ``seed`` is unused).
+    """
+
+    name = "model-guided"
+
+    def __init__(
+        self,
+        budget: int = 8,
+        seed: int = 0,
+        shortlist: int = 64,
+        batch: int = 2,
+        stable_rounds: int = 2,
+        calibration=None,
+        store=None,
+        generator: Optional[Cogent] = None,
+    ) -> None:
+        super().__init__(budget, seed)
+        self.shortlist = max(1, shortlist)
+        self.batch = max(1, batch)
+        self.stable_rounds = max(1, stable_rounds)
+        #: A :class:`~repro.autotune.calibration.CalibrationModel`, or
+        #: ``None`` to run with the online correction alone.
+        self.calibration = calibration
+        #: Optional :class:`~repro.core.program.KernelStore` (or path)
+        #: to load a persisted calibration from when none was given.
+        self.store = store
+        self.generator = generator
+        self.last_report: GuidedReport = GuidedReport()
+
+    # -- internals -------------------------------------------------------
+
+    def _load_calibration(self, evaluator: Evaluator):
+        if self.calibration is not None:
+            return self.calibration
+        if self.store is None:
+            return None
+        from .calibration import load_calibration
+
+        return load_calibration(
+            self.store,
+            evaluator.simulator.arch.name,
+            evaluator.dtype_bytes,
+        )
+
+    def _shortlist(
+        self, evaluator: Evaluator, model
+    ) -> List[_Candidate]:
+        from .calibration import contiguity_regime, plan_features
+
+        generator = self.generator or Cogent(
+            arch=evaluator.simulator.arch,
+            dtype_bytes=evaluator.dtype_bytes,
+            allow_split=False,
+        )
+        ranked = generator.rank_configs(evaluator.contraction)
+        candidates: List[_Candidate] = []
+        arch = evaluator.simulator.arch
+        for config, cost in ranked:
+            if len(candidates) >= self.shortlist:
+                break
+            try:
+                plan = KernelPlan(
+                    evaluator.contraction, config, evaluator.dtype_bytes
+                )
+                features = plan_features(plan, arch, evaluator.simulator)
+                analytic = evaluator.simulator.simulate(plan).time_s
+            except ValueError:
+                continue
+            regime = contiguity_regime(plan)
+            base = (
+                model.residual(features, regime, "time")
+                if model is not None
+                else 0.0
+            )
+            candidates.append(
+                _Candidate(
+                    config=config,
+                    cost=cost,
+                    features=features,
+                    regime=regime,
+                    analytic_time=analytic,
+                    base_correction=base,
+                )
+            )
+        return candidates
+
+    @staticmethod
+    def _online_coefficients(
+        candidates: List[_Candidate],
+    ) -> Dict[str, Tuple[float, ...]]:
+        """Second-stage per-regime correction fitted on measurements."""
+        from .calibration import FEATURE_NAMES, fit_head
+
+        coefficients: Dict[str, Tuple[float, ...]] = {}
+        for regime in {c.regime for c in candidates}:
+            rows = [
+                c for c in candidates
+                if c.regime == regime
+                and c.measured_time is not None
+                and c.measured_time > 0
+                and math.isfinite(c.measured_time)
+            ]
+            if not rows:
+                continue
+            matrix = np.array(
+                [r.features for r in rows], dtype=np.float64
+            )
+            targets = np.array(
+                [
+                    math.log(r.measured_time)
+                    - (math.log(r.analytic_time) + r.base_correction)
+                    for r in rows
+                ],
+                dtype=np.float64,
+            )
+            coefficients[regime] = fit_head(matrix, targets)
+        return coefficients
+
+    @staticmethod
+    def _predicted_time(
+        candidate: _Candidate,
+        online: Dict[str, Tuple[float, ...]],
+    ) -> float:
+        if candidate.measured_time is not None:
+            return candidate.measured_time
+        correction = candidate.base_correction
+        coeffs = online.get(candidate.regime)
+        if coeffs is not None:
+            correction += sum(
+                c * f for c, f in zip(coeffs, candidate.features)
+            )
+        return candidate.analytic_time * math.exp(correction)
+
+    def _best_key(
+        self,
+        candidates: List[_Candidate],
+        online: Dict[str, Tuple[float, ...]],
+    ) -> str:
+        best = min(
+            candidates,
+            key=lambda c: (
+                self._predicted_time(c, online),
+                c.cost,
+                c.config.describe(),
+            ),
+        )
+        return best.config.describe()
+
+    # -- the loop --------------------------------------------------------
+
+    def tune(self, evaluator: Evaluator) -> TuneTrace:
+        trace = self._trace()
+        trace.strategy = self.name
+        model = self._load_calibration(evaluator)
+        report = GuidedReport(calibrated=model is not None)
+        self.last_report = report
+        with obs.span("tune.guided"):
+            candidates = self._shortlist(evaluator, model)
+            report.shortlist = len(candidates)
+            if not candidates:
+                return trace
+            online: Dict[str, Tuple[float, ...]] = {}
+            stable = 0
+            last_best = self._best_key(candidates, online)
+            while trace.evaluations < self.budget:
+                pending = [
+                    c for c in candidates if c.measured_time is None
+                ]
+                if not pending:
+                    break
+                pending.sort(
+                    key=lambda c: (
+                        self._predicted_time(c, online),
+                        c.cost,
+                        c.config.describe(),
+                    ),
+                )
+                room = self.budget - trace.evaluations
+                for candidate in pending[: min(self.batch, room)]:
+                    gflops = evaluator.fitness(candidate.config)
+                    self._record(trace, candidate.config, gflops)
+                    candidate.measured_gflops = gflops
+                    candidate.measured_time = (
+                        evaluator.contraction.flops / (gflops * 1e9)
+                        if gflops > 0
+                        else float("inf")
+                    )
+                    report.measurements += 1
+                    obs.inc("autotune.guided.measurements")
+                online = self._online_coefficients(candidates)
+                report.online_refits += 1
+                obs.inc("autotune.guided.online_refits")
+                report.rounds += 1
+                best = self._best_key(candidates, online)
+                if best == last_best:
+                    stable += 1
+                else:
+                    stable = 0
+                    last_best = best
+                measured_best = any(
+                    c.measured_time is not None
+                    and c.config.describe() == best
+                    for c in candidates
+                )
+                if stable >= self.stable_rounds and measured_best:
+                    report.stabilized = True
+                    break
+            report.predicted_best = last_best
+        return trace
+
+
+@dataclass
+class GuidedTuneResult:
+    """What :func:`repro.api.tune` returns for a guided run."""
+
+    trace: TuneTrace
+    report: GuidedReport
+    calibration_fitted: bool = False
+
+    @property
+    def best_gflops(self) -> float:
+        return self.trace.best_gflops
+
+    @property
+    def evaluations(self) -> int:
+        return self.trace.evaluations
+
+    @property
+    def curve(self) -> List[float]:
+        return self.trace.curve
+
+    def as_dict(self) -> Dict:
+        return {
+            "strategy": self.trace.strategy,
+            "best_gflops": self.best_gflops,
+            "evaluations": self.evaluations,
+            "curve": list(self.curve),
+            "calibration_fitted": self.calibration_fitted,
+            "report": self.report.as_dict(),
+        }
 
 
 ALL_STRATEGIES = (

@@ -737,6 +737,8 @@ def cmd_tune(args: argparse.Namespace) -> int:
     from .gpu.arch import get_arch
 
     contraction = _resolve_contraction(args)
+    if args.guided:
+        return _cmd_tune_guided(args, contraction)
     tuner = TcAutotuner(
         get_arch(args.arch),
         dtype_bytes=_dtype_bytes(args),
@@ -775,6 +777,62 @@ def cmd_tune(args: argparse.Namespace) -> int:
             "modeled_tuning_time_s": result.modeled_tuning_time_s,
             "cogent_gflops": kernel.candidates[0].simulated.gflops,
             "curve": list(result.curve),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_tune_guided(args: argparse.Namespace, contraction) -> int:
+    """Run the calibrated model-guided measurement loop (Fig. 8)."""
+    from . import api
+
+    options = api.Options(
+        arch=args.arch,
+        dtype=args.dtype,
+        engine=args.engine,
+        calibration="auto",
+        store_dir=args.store_dir,
+    )
+    result = api.tune(
+        contraction,
+        options=options,
+        seed=args.seed,
+        guided=True,
+        budget=args.budget,
+        shortlist=args.shortlist,
+    )
+    report = result.report
+    source = (
+        "fitted this run" if result.calibration_fitted
+        else "loaded from store" if report.calibrated
+        else "none (online correction only)"
+    )
+    print(f"calibration: {source}")
+    print(
+        f"shortlist: {report.shortlist} candidates, "
+        f"budget {args.budget} measurements"
+    )
+    if result.curve:
+        print(curve_table(result.curve, stride=1))
+    print(
+        f"best: {result.best_gflops:.1f} GFLOPS after "
+        f"{report.measurements} simulated measurements "
+        f"({report.rounds} rounds, "
+        f"{'stabilized' if report.stabilized else 'budget exhausted'})"
+    )
+    if args.json:
+        import json
+
+        payload = {
+            "arch": args.arch,
+            "dtype": args.dtype,
+            "expr": args.expr,
+            "seed": args.seed,
+            "budget": args.budget,
+            "shortlist": args.shortlist,
+            "guided": result.as_dict(),
         }
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=2)
@@ -902,7 +960,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--limit", type=int, default=0)
     p_bench.add_argument(
         "--frameworks", default="cogent,nwchem,talsh",
-        help="comma list: cogent,nwchem,talsh,tc,tc_untuned",
+        help="comma list: cogent,cogent_strategy,nwchem,talsh,tc,"
+        "tc_untuned",
     )
     p_bench.add_argument("--csv", action="store_true")
     p_bench.set_defaults(func=cmd_bench)
@@ -1013,6 +1072,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--population", type=int, default=20)
     p_tune.add_argument("--generations", type=int, default=5)
     p_tune.add_argument("--seed", type=int, default=0)
+    p_tune.add_argument(
+        "--guided", action="store_true",
+        help="run the calibrated model-guided loop instead of the "
+        "genetic baseline: the correction re-ranks the shortlist, the "
+        "simulator measures a handful of candidates with exact-replay "
+        "traffic, the fit refreshes online, and the loop stops when "
+        "the predicted best stabilises (Fig. 8)",
+    )
+    p_tune.add_argument(
+        "--budget", type=int, default=8,
+        help="guided mode: maximum simulated measurements (default 8)",
+    )
+    p_tune.add_argument(
+        "--shortlist", type=int, default=64,
+        help="guided mode: model-ranked candidates considered "
+        "(default 64)",
+    )
+    p_tune.add_argument(
+        "--store-dir", metavar="DIR",
+        help="guided mode: persist the fitted calibration here so "
+        "warm runs perform zero refits",
+    )
     p_tune.set_defaults(func=cmd_tune)
 
     p_trace = sub.add_parser(

@@ -19,6 +19,7 @@ from .batched import BatchedGemmStrategy
 from .direct import DirectStrategy
 from .gett import GettStrategy
 from .selector import (
+    SimulatedStrategyChoice,
     StrategyChoice,
     StrategySelector,
     SuiteSelection,
@@ -33,6 +34,7 @@ __all__ = [
     "ExecutionStrategy",
     "GettStrategy",
     "PackStep",
+    "SimulatedStrategyChoice",
     "StrategyChoice",
     "StrategyError",
     "StrategyPlan",

@@ -22,6 +22,7 @@ from ..core.costmodel import (
     STRATEGY_NAMES,
     StrategyCostModel,
     StrategyTraffic,
+    TransactionEstimate,
     strategy_descriptor,
 )
 from .base import ExecutionStrategy, StrategyError
@@ -73,6 +74,40 @@ class StrategyChoice:
                 }
                 for name, t in self.ranking
             ],
+        }
+
+
+@dataclass(frozen=True)
+class SimulatedStrategyChoice:
+    """Strategy ranking on *simulated* macro-kernel time.
+
+    ``times`` holds seconds per applicable strategy (``None`` when the
+    representative macro-kernel could not be planned — such strategies
+    fall back to their modeled-traffic position at the end of the
+    ranking).  ``modeled`` is the plain transaction-count choice for
+    comparison.
+    """
+
+    selected: str
+    #: Considered strategies, fastest simulated first; un-simulatable
+    #: ones follow in modeled-traffic order.
+    ranking: Tuple[str, ...]
+    times: Dict[str, Optional[float]]
+    modeled: StrategyChoice
+
+    @property
+    def agrees_with_model(self) -> bool:
+        return self.selected == self.modeled.selected
+
+    def as_dict(self) -> dict:
+        return {
+            "selected": self.selected,
+            "ranking": list(self.ranking),
+            "times_s": {
+                name: time for name, time in self.times.items()
+            },
+            "modeled_selected": self.modeled.selected,
+            "agrees_with_model": self.agrees_with_model,
         }
 
 
@@ -165,6 +200,10 @@ class StrategySelector:
             s for s in STRATEGY_NAMES if s in set(strategies)
         )
         self.cost_model = cost_model or StrategyCostModel(dtype_bytes)
+        # Per-shape macro-kernel plans and the simulator are built
+        # lazily: plain modeled ranking never pays for them.
+        self._plan_cache: Dict[Tuple, Optional[object]] = {}
+        self._sim = None
 
     # -- single contraction ------------------------------------------------
 
@@ -204,6 +243,139 @@ class StrategySelector:
             cost_model=self.cost_model,
             **kwargs,
         )
+
+    # -- simulated ranking -------------------------------------------------
+
+    def _macro_plan(self, contraction, name, descriptor):
+        """A representative macro-kernel plan for one strategy.
+
+        ``direct`` searches the contraction itself (the inner
+        contraction for batched inputs); the pack-based strategies
+        search their macro GEMM — TTGT/GETT the ``m×n×k`` matricised
+        product, StridedBatchedGEMM the per-batch ``bm×bn×bk`` GEMM
+        with the batch count folded into the rows.  Search results are
+        cached per shape, so ranking a suite plans each distinct GEMM
+        once.
+        """
+        from ..core.generator import Cogent
+        from ..core.plan import KernelPlan
+
+        if name == "direct":
+            core = getattr(contraction, "inner", None) or contraction
+            key = ("direct", str(core), tuple(sorted(core.sizes.items())))
+        else:
+            if name == "batched":
+                if descriptor.b_count == 0:
+                    return None
+                m, n, k = (
+                    descriptor.bm * descriptor.b_count,
+                    descriptor.bn,
+                    descriptor.bk,
+                )
+            else:
+                m, n, k = descriptor.m, descriptor.n, descriptor.k
+            if min(m, n, k) < 2:
+                return None
+            key = ("gemm", m, n, k)
+        cached = self._plan_cache.get(key)
+        if cached is not None or key in self._plan_cache:
+            return cached
+        if name == "direct":
+            target = getattr(contraction, "inner", None) or contraction
+        else:
+            from ..core.parser import parse
+
+            m, n, k = key[1:]
+            target = parse("ab-ac-cb", {"a": m, "b": n, "c": k})
+        generator = Cogent(
+            arch=self.arch, dtype_bytes=self.dtype_bytes,
+            allow_split=False,
+        )
+        plan = None
+        for config, _cost in generator.rank_configs(target)[:8]:
+            try:
+                candidate = KernelPlan(target, config, self.dtype_bytes)
+                self._simulator().simulate(candidate)
+            except ValueError:
+                continue
+            plan = candidate
+            break
+        self._plan_cache[key] = plan
+        return plan
+
+    def _simulator(self):
+        from ..gpu.arch import get_arch
+        from ..gpu.simulator import GpuSimulator
+
+        if self._sim is None:
+            self._sim = GpuSimulator(get_arch(self.arch))
+        return self._sim
+
+    def simulate_rank(self, contraction) -> SimulatedStrategyChoice:
+        """Rank the applicable strategies on simulated macro-kernel time.
+
+        Each strategy's *full* modeled traffic (pack + macro + unpack
+        transactions) is charged to the simulator through the measured-
+        traffic override while the representative macro-kernel plan
+        supplies occupancy and compute/smem cycles — so the ranking
+        folds in the roofline terms raw transaction counts cannot see.
+        Strategies whose macro-kernel cannot be planned keep their
+        modeled-traffic order after every simulated one.
+        """
+        modeled = self.rank(contraction)
+        descriptor = strategy_descriptor(contraction)
+        traffic = dict(modeled.ranking)
+        times: Dict[str, Optional[float]] = {}
+        with obs.span("strategy.simulate"):
+            for name in self.strategies:
+                t = traffic[name]
+                if not t.applicable:
+                    continue
+                plan = self._macro_plan(contraction, name, descriptor)
+                if plan is None:
+                    times[name] = None
+                    continue
+                try:
+                    result = self._simulator().simulate(
+                        plan,
+                        traffic=TransactionEstimate(
+                            load_a=int(t.macro),
+                            load_b=int(t.pack),
+                            store_c=int(t.unpack),
+                            transaction_bytes=self._simulator()
+                            .arch.transaction_bytes,
+                        ),
+                    )
+                except ValueError:
+                    times[name] = None
+                    continue
+                times[name] = result.time_s
+                obs.inc(f"strategy.simulated.{name}")
+        simulated = sorted(
+            (n for n, v in times.items() if v is not None),
+            key=lambda n: (times[n], STRATEGY_NAMES.index(n)),
+        )
+        fallback = [
+            n for n, _ in modeled.ranking
+            if traffic[n].applicable and times.get(n) is None
+        ]
+        inapplicable = [
+            n for n, _ in modeled.ranking if not traffic[n].applicable
+        ]
+        ranking = tuple(simulated + fallback + inapplicable)
+        selected = (simulated + fallback)[0]
+        return SimulatedStrategyChoice(
+            selected=selected,
+            ranking=ranking,
+            times=times,
+            modeled=modeled,
+        )
+
+    def choose_simulated(self, contraction) -> SimulatedStrategyChoice:
+        """Simulated ranking, recorded in the obs counters."""
+        choice = self.simulate_rank(contraction)
+        obs.inc(f"strategy.selected.{choice.selected}")
+        return choice
 
     # -- whole suite (columnar) -------------------------------------------
 

@@ -11,7 +11,9 @@ from repro.autotune import (
     GeneticSearch,
     HillClimb,
     ModelDriven,
+    ModelGuidedStrategy,
     RandomSearch,
+    ReplayEvaluator,
     SimulatedAnnealing,
 )
 from repro.core.mapping import Dim
@@ -142,3 +144,108 @@ class TestStrategies:
         assert hit is not None
         assert trace.curve[hit - 1] >= trace.best_gflops
         assert trace.evaluations_to_reach(trace.best_gflops * 10) is None
+
+
+class TestReplayEvaluator:
+    def test_positive_fitness_on_ranked_config(self, contraction, v100):
+        from repro import Cogent
+
+        config, _cost = Cogent(
+            arch="V100", allow_split=False
+        ).rank_configs(contraction)[0]
+        evaluator = ReplayEvaluator(contraction, v100)
+        assert evaluator.fitness(config) > 0
+
+    def test_infeasible_scores_zero(self, contraction, v100):
+        from repro.core.mapping import config_from_spec
+
+        config = config_from_spec(
+            contraction,
+            tb_x=[("a", 32), ("b", 32)], tb_y=[("d", 32)],
+        )
+        assert ReplayEvaluator(contraction, v100).fitness(config) == 0.0
+
+
+class TestModelGuided:
+    def test_respects_budget(self, contraction, v100):
+        strategy = ModelGuidedStrategy(budget=8, shortlist=24)
+        trace = strategy.tune(ReplayEvaluator(contraction, v100))
+        assert trace.evaluations <= 8
+        assert strategy.last_report.measurements == trace.evaluations
+        assert strategy.last_report.shortlist <= 24
+
+    def test_deterministic(self, contraction, v100):
+        t1 = ModelGuidedStrategy(budget=8, shortlist=24).tune(
+            ReplayEvaluator(contraction, v100)
+        )
+        t2 = ModelGuidedStrategy(budget=8, shortlist=24).tune(
+            ReplayEvaluator(contraction, v100)
+        )
+        assert t1.curve == t2.curve
+        assert t1.best_config.describe() == t2.best_config.describe()
+
+    def test_stops_when_predicted_best_stabilizes(self, contraction, v100):
+        strategy = ModelGuidedStrategy(budget=64, shortlist=16)
+        trace = strategy.tune(ReplayEvaluator(contraction, v100))
+        report = strategy.last_report
+        # With a generous budget the loop must stop early, either by
+        # stabilising or by exhausting the shortlist.
+        assert report.stabilized or trace.evaluations == report.shortlist
+        assert trace.evaluations < 64
+
+    def test_within_five_percent_of_exhaustive_shortlist(
+        self, contraction, v100
+    ):
+        """The Fig. 8 claim on one contraction, pinned as a test."""
+        shortlist = 24
+        strategy = ModelGuidedStrategy(budget=8, shortlist=shortlist)
+        trace = strategy.tune(ReplayEvaluator(contraction, v100))
+
+        from repro import Cogent
+
+        generator = Cogent(arch="V100", allow_split=False)
+        exhaustive = ReplayEvaluator(contraction, v100)
+        best = max(
+            exhaustive.fitness(config)
+            for config, _cost in generator.rank_configs(
+                contraction
+            )[:shortlist]
+        )
+        assert trace.best_gflops >= 0.95 * best
+
+    def test_guided_uses_persisted_calibration(
+        self, contraction, v100, tmp_path
+    ):
+        from repro import obs
+        from repro.autotune import ensure_calibration
+
+        ensure_calibration(
+            store=tmp_path, benchmarks=("ttm_mode2",), per_contraction=4
+        )
+        strategy = ModelGuidedStrategy(budget=4, store=tmp_path)
+        with obs.tracing() as session:
+            strategy.tune(ReplayEvaluator(contraction, v100))
+        assert strategy.last_report.calibrated
+        assert session.metrics.counter("autotune.calibration.fits") == 0
+
+
+class TestApiGuidedTune:
+    def test_guided_tune_smoke(self, contraction):
+        from repro import api
+
+        result = api.tune(
+            contraction, guided=True, budget=6, shortlist=16
+        )
+        assert result.evaluations <= 6
+        assert result.best_gflops > 0
+        assert not result.calibration_fitted
+        payload = result.as_dict()
+        assert payload["strategy"] == "model-guided"
+        assert payload["report"]["measurements"] == result.evaluations
+
+    def test_options_validate_calibration(self):
+        from repro import api
+
+        assert api.Options(calibration="auto").calibration == "auto"
+        with pytest.raises(ValueError, match="calibration"):
+            api.Options(calibration="always")

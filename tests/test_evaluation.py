@@ -73,6 +73,19 @@ class TestRunner:
     def test_cogent_setup_time_recorded(self, rows):
         assert rows[0].results["cogent"].setup_time_s > 0
 
+    def test_cogent_strategy_row(self, runner):
+        c = get("sd_t_d2_1").contraction()
+        plain = runner.run("cogent", c, "sd2_1")
+        strategic = runner.run("cogent_strategy", c, "sd2_1")
+        assert strategic.framework == "cogent_strategy"
+        # Anchored on the searched direct kernel: can only match or
+        # improve the plain COGENT row.
+        assert strategic.gflops >= plain.gflops
+        assert "strategy=" in strategic.detail or "modeled" in (
+            strategic.detail
+        )
+        assert strategic.search_time_s >= plain.search_time_s
+
     def test_speedup_summary(self, rows):
         gm, mx = speedup_summary(rows, over="talsh")
         assert gm > 0

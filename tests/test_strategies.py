@@ -266,6 +266,59 @@ def test_selection_records_obs_counters():
     assert counters.get("strategy.selected.batched") == 1
 
 
+# -- simulated strategy ranking ------------------------------------------
+
+def test_simulate_rank_covers_every_strategy():
+    contraction = parse("abcd-aebf-dfce", 24)
+    selector = StrategySelector()
+    choice = selector.simulate_rank(contraction)
+    assert sorted(choice.ranking) == sorted(selector.strategies)
+    assert choice.selected == choice.ranking[0]
+    assert choice.modeled.selected in STRATEGY_NAMES
+    # Simulated strategies come fastest-first.
+    simulated = [
+        n for n in choice.ranking if choice.times.get(n) is not None
+    ]
+    times = [choice.times[n] for n in simulated]
+    assert times == sorted(times)
+    assert all(t > 0 for t in times)
+
+
+def test_simulate_rank_is_deterministic_and_cached():
+    contraction = parse("abcd-aebf-dfce", 24)
+    selector = StrategySelector()
+    first = selector.simulate_rank(contraction)
+    cached = len(selector._plan_cache)
+    second = selector.simulate_rank(contraction)
+    assert first == second
+    # Macro-kernel searches are cached per shape: no new plans.
+    assert len(selector._plan_cache) == cached
+
+
+def test_choose_simulated_records_obs_counters():
+    contraction = parse("abcd-aebf-dfce", 24)
+    with obs.tracing() as session:
+        choice = StrategySelector().choose_simulated(contraction)
+    counters = session.payload()["metrics"]["counters"]
+    assert counters.get(f"strategy.selected.{choice.selected}") == 1
+    simulated = [
+        n for n, t in choice.times.items() if t is not None
+    ]
+    for name in simulated:
+        assert counters.get(f"strategy.simulated.{name}") == 1
+
+
+def test_simulated_choice_as_dict_roundtrips_json():
+    contraction = parse_batched(
+        "mnb-mkb-knb", {"m": 128, "n": 128, "k": 64, "b": 16}
+    )
+    choice = StrategySelector().simulate_rank(contraction)
+    payload = json.loads(json.dumps(choice.as_dict()))
+    assert payload["selected"] == choice.selected
+    assert isinstance(payload["agrees_with_model"], bool)
+    assert payload["modeled_selected"] == choice.modeled.selected
+
+
 # -- wiring: Options, Cogent signature, CLI ------------------------------
 
 def test_options_rejects_unknown_strategy():
